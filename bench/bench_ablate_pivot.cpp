@@ -1,0 +1,112 @@
+// Ablation: pivot policy (Section VIII-A). Random-element pivots are
+// cheap (one pair-reduce) but split badly; median-of-samples pivots cost a
+// gather but keep the recursion shallow. Also contrasts JQuick's perfect
+// balance with hypercube quicksort's drift on skewed inputs.
+#include <cstdio>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "sort/checks.hpp"
+#include "sort/hypercube_qs.hpp"
+#include "sort/jquick.hpp"
+#include "sort/workload.hpp"
+
+namespace {
+
+constexpr int kRanks = 64;
+constexpr int kReps = 3;
+constexpr int kQuota = 256;
+
+struct Result {
+  double vtime = 0.0;
+  int levels = 0;
+};
+
+Result MeasureJQuick(mpisim::Comm& world, jsort::PivotPolicy policy,
+                     jsort::InputKind kind) {
+  jsort::JQuickConfig cfg;
+  cfg.pivot = policy;
+  Result res;
+  const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+    auto input = jsort::GenerateInput(kind, world.Rank(), world.Size(),
+                                      kQuota, 23);
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    auto tr = jsort::MakeRbcTransport(rw);
+    jsort::JQuickStats stats;
+    jsort::JQuickSort(tr, std::move(input), cfg, &stats);
+    int local_levels = stats.distributed_levels;
+    int max_levels = 0;
+    mpisim::Allreduce(&local_levels, &max_levels, 1,
+                      mpisim::Datatype::kInt32, mpisim::ReduceOp::kMax,
+                      world);
+    res.levels = max_levels;
+  });
+  res.vtime = m.vtime;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Ablation: pivot policy, p=%d, n/p=%d (median of %d)\n"
+      "# levels = max distributed recursion depth over ranks\n",
+      kRanks, kQuota, kReps);
+  benchutil::PrintRowHeader({"input", "median.vt", "median.lv", "random.vt",
+                             "random.lv"});
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
+  rt.Run([](mpisim::Comm& world) {
+    for (auto kind :
+         {jsort::InputKind::kUniform, jsort::InputKind::kGaussian,
+          jsort::InputKind::kZipf, jsort::InputKind::kSortedDesc}) {
+      const Result med = MeasureJQuick(
+          world, jsort::PivotPolicy::kMedianOfSamples, kind);
+      const Result rnd = MeasureJQuick(
+          world, jsort::PivotPolicy::kRandomElement, kind);
+      if (world.Rank() == 0) {
+        benchutil::PrintCell(std::string(jsort::InputKindName(kind)));
+        benchutil::PrintCell(med.vtime);
+        benchutil::PrintCell(static_cast<double>(med.levels));
+        benchutil::PrintCell(rnd.vtime);
+        benchutil::PrintCell(static_cast<double>(rnd.levels));
+        benchutil::EndRow();
+      }
+    }
+
+    // Balance contrast on a skewed input (Section IV's motivation).
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    {
+      auto input = jsort::GenerateInput(jsort::InputKind::kZipf,
+                                        world.Rank(), world.Size(), kQuota,
+                                        29);
+      auto tr = jsort::MakeRbcTransport(rw);
+      const auto out = jsort::JQuickSort(tr, std::move(input));
+      const auto bal = jsort::GlobalBalance(out, rw);
+      if (world.Rank() == 0) {
+        std::printf(
+            "\n# JQuick balance on zipf input: min=%lld max=%lld "
+            "(perfectly balanced)\n",
+            static_cast<long long>(bal.min_count),
+            static_cast<long long>(bal.max_count));
+      }
+    }
+    {
+      auto input = jsort::GenerateInput(jsort::InputKind::kZipf,
+                                        world.Rank(), world.Size(), kQuota,
+                                        29);
+      auto tr = jsort::MakeRbcTransport(rw);
+      const auto out = jsort::HypercubeQuicksort(tr, std::move(input));
+      const auto bal = jsort::GlobalBalance(out, rw);
+      if (world.Rank() == 0) {
+        std::printf(
+            "# Hypercube balance on zipf input: min=%lld max=%lld "
+            "(imbalance JQuick avoids)\n",
+            static_cast<long long>(bal.min_count),
+            static_cast<long long>(bal.max_count));
+      }
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension bench (Section V-D: "easy to extend ... e.g., for large input
+// sizes"): binomial-tree broadcast vs the scatter+ring-allgather large-
+// input broadcast. Locates the crossover: the tree costs ~beta*l*log(p)
+// bandwidth, the pipeline ~2*beta*l but alpha*(p-1) latency.
+#include <cstdio>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "rbc/rbc.hpp"
+
+namespace {
+
+constexpr int kRanks = 64;
+constexpr int kReps = 3;
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Extension: tree vs large-input broadcast, p=%d (median of %d)\n",
+      kRanks, kReps);
+  benchutil::PrintRowHeader(
+      {"elements", "tree.vt", "large.vt", "tree/large"});
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
+  rt.Run([](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    for (int lg = 4; lg <= 20; lg += 2) {
+      const int n = 1 << lg;
+      std::vector<double> buf(static_cast<std::size_t>(n), 1.0);
+      const auto tree = benchutil::MeasureOnRanks(world, kReps, [&] {
+        rbc::Bcast(buf.data(), n, rbc::Datatype::kFloat64, 0, rw);
+      });
+      const auto large = benchutil::MeasureOnRanks(world, kReps, [&] {
+        rbc::BcastLarge(buf.data(), n, rbc::Datatype::kFloat64, 0, rw);
+      });
+      if (world.Rank() == 0) {
+        benchutil::PrintCell(static_cast<double>(n));
+        benchutil::PrintCell(tree.vtime);
+        benchutil::PrintCell(large.vtime);
+        benchutil::PrintCell(tree.vtime / std::max(large.vtime, 1e-9));
+        benchutil::EndRow();
+      }
+    }
+  });
+  std::printf(
+      "\n# Shape check: ratio < 1 for small payloads (latency-bound), "
+      "crosses 1 and\n# approaches log2(p)/2 = 3 for large payloads "
+      "(bandwidth-bound).\n");
+  return 0;
+}

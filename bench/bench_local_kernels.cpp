@@ -1,0 +1,101 @@
+// google-benchmark microbenchmarks of the local (single-rank) kernels the
+// sorter is built from: partition, quickselect, greedy assignment, local
+// sort, input generation. These bound the non-communication terms of
+// Theorem 1 (O(n/p) partition work, O(n/p log(n/p)) base-case sort).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "sort/assignment.hpp"
+#include "sort/partition.hpp"
+#include "sort/quickselect.hpp"
+#include "sort/sampling.hpp"
+#include "sort/workload.hpp"
+
+namespace {
+
+std::vector<double> MakeInput(std::int64_t n) {
+  return jsort::GenerateInput(jsort::InputKind::kUniform, 0, 1, n, 99);
+}
+
+void BM_Partition(benchmark::State& state) {
+  const auto data = MakeInput(state.range(0));
+  const double pivot = 0.5;
+  for (auto _ : state) {
+    auto r = jsort::Partition(data, pivot, false);
+    benchmark::DoNotOptimize(r.small.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Partition)->Range(1 << 8, 1 << 18);
+
+void BM_PartitionInPlace(benchmark::State& state) {
+  const auto data = MakeInput(state.range(0));
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(jsort::PartitionInPlace(copy, 0.5, true));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionInPlace)->Range(1 << 8, 1 << 18);
+
+void BM_Quickselect(benchmark::State& state) {
+  const auto data = MakeInput(state.range(0));
+  for (auto _ : state) {
+    auto copy = data;
+    jsort::QuickselectSmallest(copy, copy.size() / 2);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Quickselect)->Range(1 << 8, 1 << 18);
+
+void BM_LocalSort(benchmark::State& state) {
+  const auto data = MakeInput(state.range(0));
+  for (auto _ : state) {
+    auto copy = data;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LocalSort)->Range(1 << 8, 1 << 18);
+
+void BM_AssignChunks(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const jsort::CapacityLayout layout{
+      .p = p, .quota = 1000, .cap_first = 500, .cap_last = 700};
+  for (auto _ : state) {
+    // A sender interval spanning most of the machine (worst case).
+    auto chunks = jsort::AssignChunks(layout, 250, layout.Total() - 333);
+    benchmark::DoNotOptimize(chunks.data());
+  }
+}
+BENCHMARK(BM_AssignChunks)->Range(4, 4096);
+
+void BM_ReservoirCandidate(benchmark::State& state) {
+  const auto data = MakeInput(state.range(0));
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jsort::ReservoirCandidate(data, rng));
+  }
+}
+BENCHMARK(BM_ReservoirCandidate)->Range(1 << 8, 1 << 16);
+
+void BM_MedianOfSamples(benchmark::State& state) {
+  const auto data = MakeInput(1 << 16);
+  std::mt19937_64 rng(6);
+  std::vector<double> samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    jsort::DrawSamples(data, static_cast<int>(samples.size()),
+                       samples.data(), rng);
+    benchmark::DoNotOptimize(jsort::MedianOf(samples));
+  }
+}
+BENCHMARK(BM_MedianOfSamples)->Range(16, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Shared measurement helpers for the figure-reproduction benchmarks.
+//
+// Every benchmark reports two metrics per configuration:
+//  * vtime -- the deterministic virtual alpha-beta model time (max over
+//    ranks) of the operation, the primary shape-comparison metric (the
+//    substrate oversubscribes one CPU, so wall time is noisy);
+//  * wall  -- rank-0 wall-clock milliseconds, for reference.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mpisim/mpisim.hpp"
+
+namespace benchutil {
+
+struct Measurement {
+  double wall_ms = 0.0;
+  double vtime = 0.0;
+};
+
+/// Measures `op` (a collective action over `world`) `reps` times and
+/// returns the median. Only rank 0's return value is meaningful.
+inline Measurement MeasureOnRanks(mpisim::Comm& world, int reps,
+                                  const std::function<void()>& op) {
+  std::vector<double> walls, vts;
+  for (int rep = 0; rep < reps; ++rep) {
+    mpisim::Barrier(world);
+    const double v0 = mpisim::Ctx().clock.Now();
+    const auto t0 = std::chrono::steady_clock::now();
+    op();
+    const double local_delta = mpisim::Ctx().clock.Now() - v0;
+    mpisim::Barrier(world);
+    const auto t1 = std::chrono::steady_clock::now();
+    double max_delta = 0.0;
+    mpisim::Allreduce(&local_delta, &max_delta, 1,
+                      mpisim::Datatype::kFloat64, mpisim::ReduceOp::kMax,
+                      world);
+    walls.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    vts.push_back(max_delta);
+  }
+  auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  return Measurement{median(walls), median(vts)};
+}
+
+/// Left-pads a string to the column width used by the tables.
+inline void PrintRowHeader(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "----");
+  std::printf("\n");
+}
+
+inline void PrintCell(double v) { std::printf("%16.4f", v); }
+inline void PrintCell(const std::string& s) {
+  std::printf("%16s", s.c_str());
+}
+inline void EndRow() { std::printf("\n"); }
+
+}  // namespace benchutil

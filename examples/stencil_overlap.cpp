@@ -1,0 +1,125 @@
+// 1-D heat-diffusion stencil with communication/computation overlap --
+// the bread-and-butter HPC pattern the nonblocking RBC operations enable
+// on arbitrary sub-ranges.
+//
+// The domain is split across two independent RBC ranges (two "simulation
+// instances" sharing one MPI communicator, created locally). In each
+// timestep a rank posts nonblocking halo receives, sends its boundary
+// cells, updates the interior while the halos are in flight (progressing
+// the requests with rbc::Test), then finishes the boundary cells.
+//
+// Run:  ./examples/stencil_overlap [p] [cells_per_rank] [steps]
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "mpisim/mpisim.hpp"
+#include "rbc/rbc.hpp"
+
+namespace {
+
+constexpr int kTagLeft = 1;   // halo travelling to the left neighbour
+constexpr int kTagRight = 2;  // halo travelling to the right neighbour
+
+void Simulate(const rbc::Comm& grid, int cells, int steps, int instance) {
+  const int rank = grid.Rank();
+  const int p = grid.Size();
+  // Cells u[1..cells]; u[0] and u[cells+1] are halos.
+  std::vector<double> u(static_cast<std::size_t>(cells) + 2, 0.0);
+  std::vector<double> next = u;
+  // Initial condition: a hot spot on the first rank of the instance.
+  if (rank == 0) {
+    for (int i = 1; i <= cells; ++i) u[static_cast<std::size_t>(i)] = 100.0;
+  }
+
+  for (int step = 0; step < steps; ++step) {
+    rbc::Request recv_left, recv_right;
+    bool left_done = rank == 0;
+    bool right_done = rank == p - 1;
+    if (!left_done) {
+      rbc::Irecv(&u[0], 1, rbc::Datatype::kFloat64, rank - 1, kTagRight,
+                 grid, &recv_left);
+      rbc::Send(&u[1], 1, rbc::Datatype::kFloat64, rank - 1, kTagLeft, grid);
+    }
+    if (!right_done) {
+      rbc::Irecv(&u[static_cast<std::size_t>(cells) + 1], 1,
+                 rbc::Datatype::kFloat64, rank + 1, kTagLeft, grid,
+                 &recv_right);
+      rbc::Send(&u[static_cast<std::size_t>(cells)], 1,
+                rbc::Datatype::kFloat64, rank + 1, kTagRight, grid);
+    }
+
+    // Interior update overlaps with the halo exchange.
+    for (int i = 2; i < cells; ++i) {
+      next[static_cast<std::size_t>(i)] =
+          u[static_cast<std::size_t>(i)] +
+          0.25 * (u[static_cast<std::size_t>(i) - 1] -
+                  2.0 * u[static_cast<std::size_t>(i)] +
+                  u[static_cast<std::size_t>(i) + 1]);
+    }
+
+    // Drain the halos, then update the boundary cells.
+    while (!left_done || !right_done) {
+      int flag = 0;
+      if (!left_done) {
+        rbc::Test(&recv_left, &flag, nullptr);
+        if (flag) left_done = true;
+      }
+      flag = 0;
+      if (!right_done) {
+        rbc::Test(&recv_right, &flag, nullptr);
+        if (flag) right_done = true;
+      }
+    }
+    if (rank == 0) u[0] = u[1];  // insulated ends
+    if (rank == p - 1) u[static_cast<std::size_t>(cells) + 1] =
+        u[static_cast<std::size_t>(cells)];
+    for (int i : {1, cells}) {
+      next[static_cast<std::size_t>(i)] =
+          u[static_cast<std::size_t>(i)] +
+          0.25 * (u[static_cast<std::size_t>(i) - 1] -
+                  2.0 * u[static_cast<std::size_t>(i)] +
+                  u[static_cast<std::size_t>(i) + 1]);
+    }
+    u.swap(next);
+  }
+
+  // Total heat must be conserved (up to the insulated-boundary scheme).
+  const double local = std::accumulate(u.begin() + 1, u.end() - 1, 0.0);
+  double total = 0.0;
+  rbc::Reduce(&local, &total, 1, rbc::Datatype::kFloat64,
+              rbc::ReduceOp::kSum, 0, grid);
+  if (rank == 0) {
+    std::printf("  instance %d: total heat after simulation = %.3f "
+                "(initial %.3f)\n",
+                instance, total, 100.0 * cells);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int p = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int cells = argc > 2 ? std::atoi(argv[2]) : 64;
+  const int steps = argc > 3 ? std::atoi(argv[3]) : 200;
+  if (p < 2) {
+    std::fprintf(stderr, "need at least 2 ranks\n");
+    return 2;
+  }
+  std::printf("1-D stencil with halo overlap: p=%d cells/rank=%d steps=%d, "
+              "two instances on locally split ranges\n",
+              p, cells, steps);
+  mpisim::Runtime::Exec(p, [&](mpisim::Comm& mpi_world) {
+    rbc::Comm world, instance_range;
+    rbc::Create_RBC_Comm(mpi_world, &world);
+    // Two independent simulation instances over the two halves of the
+    // machine, created locally (Figure 1 pattern).
+    const int s = world.Size();
+    const bool low = world.Rank() < s / 2;
+    rbc::Split_RBC_Comm(world, low ? 0 : s / 2, low ? s / 2 - 1 : s - 1,
+                        &instance_range);
+    Simulate(instance_range, cells, steps, low ? 0 : 1);
+  });
+  return 0;
+}

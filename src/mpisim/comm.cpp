@@ -1,0 +1,64 @@
+#include "mpisim/comm.hpp"
+
+#include "mpisim/error.hpp"
+
+namespace mpisim {
+
+Comm Comm::Make(Group group, std::uint64_t base, int my_rank,
+                std::optional<TupleCtx> tuple,
+                std::function<void()> on_destroy) {
+  if (my_rank < 0) return Comm{};  // not a member -> null communicator
+  if (my_rank >= group.Size()) {
+    throw UsageError("Comm::Make: my_rank out of range");
+  }
+  Comm c;
+  c.impl_ = std::make_shared<detail::CommImpl>();
+  c.impl_->group = std::move(group);
+  c.impl_->base = base;
+  c.impl_->my_rank = my_rank;
+  c.impl_->tuple = tuple;
+  c.impl_->on_destroy = std::move(on_destroy);
+  return c;
+}
+
+int Comm::Rank() const {
+  if (IsNull()) throw UsageError("Comm::Rank on null communicator");
+  return impl_->my_rank;
+}
+
+int Comm::Size() const {
+  if (IsNull()) throw UsageError("Comm::Size on null communicator");
+  return impl_->group.Size();
+}
+
+int Comm::WorldRank(int r) const {
+  if (IsNull()) throw UsageError("Comm::WorldRank on null communicator");
+  return impl_->group.WorldRank(r);
+}
+
+const Group& Comm::GetGroup() const {
+  if (IsNull()) throw UsageError("Comm::GetGroup on null communicator");
+  return impl_->group;
+}
+
+std::uint64_t Comm::Base() const {
+  if (IsNull()) throw UsageError("Comm::Base on null communicator");
+  return impl_->base;
+}
+
+const std::optional<TupleCtx>& Comm::Tuple() const {
+  if (IsNull()) throw UsageError("Comm::Tuple on null communicator");
+  return impl_->tuple;
+}
+
+std::uint64_t Comm::CtxOf(Channel ch) const {
+  if (IsNull()) throw UsageError("Comm::CtxOf on null communicator");
+  return impl_->base * 4 + static_cast<std::uint64_t>(ch);
+}
+
+int Comm::NextNbcTag() const {
+  if (IsNull()) throw UsageError("Comm::NextNbcTag on null communicator");
+  return impl_->nbc_tag_counter++;
+}
+
+}  // namespace mpisim

@@ -1,0 +1,133 @@
+// Communicators.
+//
+// A communicator is, per rank, a handle to (group, context id, own rank).
+// Context ids guarantee that traffic of different communicators never
+// interferes (Section III of the paper). Each communicator owns three
+// matching sub-channels derived from its base context id: user
+// point-to-point traffic, blocking collectives, and nonblocking
+// collectives -- the classic MPI implementation trick of duplicating the
+// context for internal traffic.
+//
+// Base context ids come from two allocation schemes:
+//  * mask-based ids (< kMaxMaskContexts): agreed on by the collective
+//    creation routines via an all-reduce with BAND over per-rank context
+//    bitmasks, exactly like MPICH / Open MPI (Section III).
+//  * structured tuple ids <a, b, f, l, c> (Section VI proposal): computed
+//    locally (range case) or by the group's first process (general case)
+//    and interned into dense ids by the runtime registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "mpisim/group.hpp"
+
+namespace mpisim {
+
+/// Number of context ids representable in the per-rank context bitmask.
+inline constexpr int kMaxMaskContexts = 2048;
+
+/// Structured context id of the Section-VI proposal: <a, b, f, l, c>.
+/// `a` is the world rank of the process that coined the id, `b` that
+/// process's creation counter, `f`/`l` the world-rank range the id covers,
+/// and `c` a nesting counter distinguishing a communicator from a
+/// same-group parent.
+struct TupleCtx {
+  int a = 0;
+  std::uint32_t b = 0;
+  int f = 0;
+  int l = 0;
+  int c = 0;
+
+  friend bool operator==(const TupleCtx&, const TupleCtx&) = default;
+};
+
+struct TupleCtxHash {
+  std::size_t operator()(const TupleCtx& t) const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(t.a));
+    mix(t.b);
+    mix(static_cast<std::uint64_t>(t.f));
+    mix(static_cast<std::uint64_t>(t.l));
+    mix(static_cast<std::uint64_t>(t.c));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+namespace detail {
+struct CommImpl {
+  Group group;
+  std::uint64_t base = 0;  // base context id
+  int my_rank = -1;        // this process's rank in `group`
+  std::optional<TupleCtx> tuple;  // set when created via the tuple scheme
+  // Tag counter for nonblocking collectives. All ranks of a communicator
+  // call nonblocking collectives in the same order, so incrementing it
+  // locally keeps it synchronous across ranks (Section III discussion of
+  // Hoefler & Lumsdaine's scheme).
+  int nbc_tag_counter = 0;
+  // Releases this communicator's mask context id back to the owning rank's
+  // bitmask. Must run on the rank's own thread (communicator handles are
+  // rank-local, like real MPI handles).
+  std::function<void()> on_destroy;
+
+  ~CommImpl() {
+    if (on_destroy) on_destroy();
+  }
+};
+}  // namespace detail
+
+/// Matching sub-channels of a communicator's context.
+enum class Channel : std::uint8_t {
+  kUser = 0,      // user point-to-point traffic
+  kColl = 1,      // blocking collectives
+  kNbc = 2,       // nonblocking collectives
+  kInternal = 3,  // communicator-construction protocols
+};
+
+/// Value-semantic communicator handle. A default-constructed Comm is the
+/// null communicator (MPI_COMM_NULL).
+class Comm {
+ public:
+  Comm() = default;
+
+  /// Assembles a communicator handle from its parts. `my_rank` is this
+  /// process's rank in `group`, or -1 if this process is not a member (in
+  /// which case the handle is null).
+  static Comm Make(Group group, std::uint64_t base, int my_rank,
+                   std::optional<TupleCtx> tuple = std::nullopt,
+                   std::function<void()> on_destroy = nullptr);
+
+  bool IsNull() const { return impl_ == nullptr; }
+
+  /// Rank of the calling process in this communicator.
+  int Rank() const;
+  /// Number of processes in this communicator.
+  int Size() const;
+  /// World rank of communicator rank `r`.
+  int WorldRank(int r) const;
+  const Group& GetGroup() const;
+  std::uint64_t Base() const;
+  const std::optional<TupleCtx>& Tuple() const;
+
+  /// Envelope context id for a sub-channel of this communicator.
+  std::uint64_t CtxOf(Channel ch) const;
+
+  /// Allocates the next nonblocking-collective tag (synchronous across
+  /// ranks because all ranks call nonblocking collectives in order).
+  int NextNbcTag() const;
+
+  friend bool operator==(const Comm& x, const Comm& y) {
+    return x.impl_ == y.impl_;
+  }
+
+ private:
+  std::shared_ptr<detail::CommImpl> impl_;
+};
+
+}  // namespace mpisim

@@ -1,0 +1,43 @@
+// mpisim -- a single-process, threads-as-ranks message-passing substrate
+// that reproduces the semantics (and the cost structure) of MPI for the
+// RBC / Janus Quicksort reproduction.
+//
+// Error types thrown by the substrate.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpisim {
+
+/// Base class for every error raised by the mpisim substrate.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised on API misuse (negative counts, out-of-range ranks, truncating
+/// receives, reserved tags, ...). Mirrors MPI's ERRORS_ARE_FATAL class of
+/// failures, but recoverable in-process so tests can assert on it.
+class UsageError : public Error {
+ public:
+  explicit UsageError(const std::string& what) : Error(what) {}
+};
+
+/// Raised in a rank that is blocked while another rank already failed; the
+/// runtime aborts all blocked ranks so the originating exception can be
+/// re-thrown from Runtime::Run().
+class AbortedError : public Error {
+ public:
+  AbortedError() : Error("mpisim: run aborted because another rank failed") {}
+};
+
+/// Raised when a blocking operation exceeds the configured deadlock timeout.
+/// This exists purely as test hygiene: a wedged collective fails the test
+/// instead of hanging ctest.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace mpisim

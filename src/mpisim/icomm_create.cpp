@@ -1,0 +1,133 @@
+#include "mpisim/icomm_create.hpp"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "mpisim/p2p.hpp"
+#include "mpisim/runtime.hpp"
+
+namespace mpisim {
+namespace {
+
+constexpr Channel kCh = Channel::kInternal;
+
+std::array<std::int32_t, 5> PackTuple(const TupleCtx& t) {
+  return {t.a, static_cast<std::int32_t>(t.b), t.f, t.l, t.c};
+}
+
+TupleCtx UnpackTuple(const std::array<std::int32_t, 5>& w) {
+  return TupleCtx{.a = w[0], .b = static_cast<std::uint32_t>(w[1]), .f = w[2],
+                  .l = w[3], .c = w[4]};
+}
+
+/// Binomial broadcast of the coined tuple across the group members,
+/// addressed via their parent-communicator ranks, using the user tag.
+/// This is the O(alpha log l) general path of the proposal.
+class TupleBcastSM final : public detail::RequestImpl {
+ public:
+  TupleBcastSM(Comm parent, Group group, int tag, Comm* out)
+      : parent_(std::move(parent)), group_(std::move(group)), tag_(tag),
+        out_(out) {
+    RankContext& rc = Ctx();
+    my_index_ = group_.RankOfWorld(rc.world_rank);
+    const int g = group_.Size();
+    members_.resize(g);
+    for (int i = 0; i < g; ++i) {
+      members_[i] = parent_.GetGroup().RankOfWorld(group_.WorldRank(i));
+      if (members_[i] < 0) {
+        throw UsageError("IcommCreateGroup: group member not in parent");
+      }
+    }
+    if (my_index_ == 0) {
+      const TupleCtx t{.a = rc.world_rank,
+                       .b = rc.icomm_counter++,
+                       .f = 0,
+                       .l = g - 1,
+                       .c = 0};
+      wire_ = PackTuple(t);
+      SendToChildren();
+      Finish(t);
+    } else {
+      const int lowbit = my_index_ & (-my_index_);
+      pending_ = detail::IrecvOnChannel(wire_.data(), 5, Datatype::kInt32,
+                                        members_[my_index_ - lowbit], tag_,
+                                        parent_, kCh);
+    }
+  }
+
+  bool Test(Status*) override {
+    if (done_) return true;
+    if (!pending_.Test()) return false;
+    SendToChildren();
+    Finish(UnpackTuple(wire_));
+    return true;
+  }
+
+ private:
+  void SendToChildren() {
+    const int g = group_.Size();
+    const int limit = my_index_ == 0 ? g : (my_index_ & (-my_index_));
+    for (int m = 1; m < limit && my_index_ + m < g; m <<= 1) {
+      detail::SendOnChannel(wire_.data(), 5, Datatype::kInt32,
+                            members_[my_index_ + m], tag_, parent_, kCh);
+    }
+  }
+
+  void Finish(const TupleCtx& t) {
+    RankContext& rc = Ctx();
+    const std::uint64_t base = rc.runtime->InternTuple(t);
+    // General case: implementations store the explicit group (given by the
+    // caller anyway); charge its construction.
+    rc.clock.Advance(static_cast<double>(group_.StorageEntries()) *
+                     rc.runtime->options().cost.compute_unit);
+    *out_ = Comm::Make(group_.Materialized(), base, my_index_, t);
+    done_ = true;
+  }
+
+  Comm parent_;
+  Group group_;
+  int tag_;
+  Comm* out_;
+  int my_index_ = -1;
+  std::vector<int> members_;
+  std::array<std::int32_t, 5> wire_{};
+  Request pending_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+Request IcommCreateGroup(const Comm& parent, const Group& group, int tag,
+                         Comm* out) {
+  if (parent.IsNull()) throw UsageError("IcommCreateGroup: null communicator");
+  if (out == nullptr) throw UsageError("IcommCreateGroup: null out pointer");
+  RankContext& rc = Ctx();
+  const int my_index = group.RankOfWorld(rc.world_rank);
+  if (my_index < 0) {
+    throw UsageError(
+        "IcommCreateGroup: calling rank is not a member of the group");
+  }
+
+  // Constant-time local path: contiguous range of a tuple-carrying parent.
+  if (parent.Tuple()) {
+    if (auto range = group.AsContiguousRangeOf(parent.GetGroup())) {
+      const TupleCtx& pt = *parent.Tuple();
+      const auto [f_prime, l_prime] = *range;
+      const TupleCtx t{.a = pt.a,
+                       .b = pt.b,
+                       .f = pt.f + f_prime,
+                       .l = pt.f + l_prime,
+                       .c = pt.c + 1};
+      const std::uint64_t base = rc.runtime->InternTuple(t);
+      *out = Comm::Make(group, base, my_index, t);
+      return Request(std::make_shared<detail::CompletedRequest>());
+    }
+  }
+
+  // General path: coin at the first member, broadcast over the parent.
+  return Request(
+      std::make_shared<TupleBcastSM>(parent, group, tag, out));
+}
+
+}  // namespace mpisim

@@ -1,0 +1,30 @@
+// The paper's Section-VI proposal: MPI_Icomm_create_group.
+//
+// Nonblocking, group-collective communicator creation whose context ids
+// are structured tuples <a, b, f, l, c>:
+//  * If the new group is a contiguous range f'..l' of the parent's ranks
+//    and the parent itself carries a tuple id <a, b, f, l, c>, every member
+//    computes the child id <a, b, f+f', f+l', c+1> locally -- constant
+//    time, zero communication, full MPI semantics (a private context, no
+//    tag restrictions). The request completes immediately.
+//  * Otherwise the group's first process coins <own world rank, counter++,
+//    0, |group|-1, 0> and broadcasts it to the members over the parent
+//    communicator with the caller-supplied tag -- O(alpha log |group|).
+//
+// Tuples are interned into dense context ids by the runtime registry; the
+// registry is bookkeeping only (the tuple values are computed by the
+// distributed algorithm exactly as proposed).
+#pragma once
+
+#include "mpisim/comm.hpp"
+#include "mpisim/request.hpp"
+
+namespace mpisim {
+
+/// Nonblocking group-collective communicator creation (Section VI).
+/// `*out` becomes valid exactly when the returned request completes. The
+/// calling rank must be a member of `group`.
+Request IcommCreateGroup(const Comm& parent, const Group& group, int tag,
+                         Comm* out);
+
+}  // namespace mpisim

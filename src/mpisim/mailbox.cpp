@@ -1,0 +1,101 @@
+#include "mpisim/mailbox.hpp"
+
+#include <algorithm>
+
+namespace mpisim {
+
+void Mailbox::Post(Message&& m) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+const Message* Mailbox::FindLocked(std::uint64_t ctx, int src, int tag) const {
+  for (const Message& m : queue_) {
+    if (m.env.Matches(ctx, src, tag)) return &m;
+  }
+  return nullptr;
+}
+
+std::optional<Message> Mailbox::TryPop(std::uint64_t ctx, int src, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->env.Matches(ctx, src, tag)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mailbox::TryPeek(std::uint64_t ctx, int src, int tag, Envelope* env,
+                      std::size_t* bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Message* m = FindLocked(ctx, src, tag);
+  if (m == nullptr) return false;
+  if (env != nullptr) *env = m->env;
+  if (bytes != nullptr) *bytes = m->payload.size();
+  return true;
+}
+
+Message Mailbox::PopBlocking(std::uint64_t ctx, int src, int tag,
+                             std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (aborted_) throw AbortedError();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->env.Matches(ctx, src, tag)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      throw DeadlockError(
+          "mpisim: blocking receive/probe timed out (suspected deadlock)");
+    }
+  }
+}
+
+void Mailbox::PeekBlocking(std::uint64_t ctx, int src, int tag, Envelope* env,
+                           std::size_t* bytes,
+                           std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (aborted_) throw AbortedError();
+    if (const Message* m = FindLocked(ctx, src, tag)) {
+      if (env != nullptr) *env = m->env;
+      if (bytes != nullptr) *bytes = m->payload.size();
+      return;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      throw DeadlockError(
+          "mpisim: blocking probe timed out (suspected deadlock)");
+    }
+  }
+}
+
+void Mailbox::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::ResetAbort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = false;
+}
+
+std::size_t Mailbox::QueuedMessages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace mpisim

@@ -1,0 +1,64 @@
+// Per-rank mailbox with MPI-style envelope matching.
+//
+// Delivery into a mailbox is FIFO in posting order; matching scans the
+// queue front-to-back, which yields the MPI non-overtaking guarantee:
+// two messages from the same sender with envelopes matching the same
+// receive are received in send order.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mpisim/error.hpp"
+#include "mpisim/message.hpp"
+
+namespace mpisim {
+
+class Mailbox {
+ public:
+  /// Delivers a message (called from the sender's thread).
+  void Post(Message&& m);
+
+  /// Removes and returns the first message matching (ctx, src, tag), or
+  /// nullopt if none is queued. Non-blocking.
+  std::optional<Message> TryPop(std::uint64_t ctx, int src, int tag);
+
+  /// Returns a copy of the envelope and the payload byte count of the first
+  /// matching message without removing it. Non-blocking probe.
+  bool TryPeek(std::uint64_t ctx, int src, int tag, Envelope* env,
+               std::size_t* bytes) const;
+
+  /// Blocks until a matching message arrives, then removes and returns it.
+  /// Throws AbortedError if the runtime aborted, DeadlockError on timeout.
+  Message PopBlocking(std::uint64_t ctx, int src, int tag,
+                      std::chrono::milliseconds timeout);
+
+  /// Blocks until a matching message arrives; returns its envelope/size
+  /// without removing it (blocking probe).
+  void PeekBlocking(std::uint64_t ctx, int src, int tag, Envelope* env,
+                    std::size_t* bytes, std::chrono::milliseconds timeout);
+
+  /// Marks the runtime as aborted and wakes all blocked waiters.
+  void Abort();
+
+  /// Clears the aborted flag (a fresh Runtime::Run after a failed one).
+  void ResetAbort();
+
+  /// Number of queued (undelivered) messages; diagnostics only.
+  std::size_t QueuedMessages() const;
+
+ private:
+  const Message* FindLocked(std::uint64_t ctx, int src, int tag) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace mpisim

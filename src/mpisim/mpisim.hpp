@@ -1,0 +1,18 @@
+// Umbrella header for the mpisim substrate.
+#pragma once
+
+#include "mpisim/clock.hpp"
+#include "mpisim/collectives.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/comm_create.hpp"
+#include "mpisim/datatype.hpp"
+#include "mpisim/error.hpp"
+#include "mpisim/group.hpp"
+#include "mpisim/icomm_create.hpp"
+#include "mpisim/mailbox.hpp"
+#include "mpisim/message.hpp"
+#include "mpisim/nbc.hpp"
+#include "mpisim/p2p.hpp"
+#include "mpisim/request.hpp"
+#include "mpisim/runtime.hpp"
+#include "mpisim/status.hpp"

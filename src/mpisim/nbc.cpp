@@ -1,0 +1,491 @@
+#include "mpisim/nbc.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "mpisim/error.hpp"
+#include "mpisim/p2p.hpp"
+
+namespace mpisim {
+namespace detail {
+
+BinomialTree BinomialTree::Compute(int rank, int p, int root) {
+  BinomialTree t;
+  const int relrank = (rank - root + p) % p;
+  if (relrank != 0) {
+    const int lowbit = relrank & (-relrank);
+    t.parent = ((relrank ^ lowbit) + root) % p;
+  }
+  const int limit = relrank == 0 ? p : (relrank & (-relrank));
+  for (int m = 1; m < limit && relrank + m < p; m <<= 1) {
+    const int rel_child = relrank + m;
+    t.children.push_back((rel_child + root) % p);
+    t.child_extents.push_back(std::min(m, p - rel_child));
+  }
+  return t;
+}
+
+namespace {
+
+constexpr Channel kCh = Channel::kNbc;
+
+std::size_t Bytes(int count, Datatype dt) {
+  if (count < 0) throw UsageError("nonblocking collective: negative count");
+  return static_cast<std::size_t>(count) * SizeOf(dt);
+}
+
+class IbcastSM final : public RequestImpl {
+ public:
+  IbcastSM(void* buf, int count, Datatype dt, int root, Comm comm, int tag)
+      : buf_(buf), count_(count), dt_(dt), comm_(std::move(comm)), tag_(tag),
+        tree_(BinomialTree::Compute(comm_.Rank(), comm_.Size(), root)) {
+    if (tree_.parent < 0) {
+      SendToChildren();
+      done_ = true;
+    } else {
+      pending_ = IrecvOnChannel(buf_, count_, dt_, tree_.parent, tag_, comm_,
+                                kCh);
+    }
+  }
+
+  bool Test(Status*) override {
+    if (done_) return true;
+    if (!pending_.Test()) return false;
+    SendToChildren();
+    done_ = true;
+    return true;
+  }
+
+ private:
+  void SendToChildren() {
+    // Largest subtree first, so deep subtrees start as early as possible.
+    for (int i = static_cast<int>(tree_.children.size()) - 1; i >= 0; --i) {
+      SendOnChannel(buf_, count_, dt_, tree_.children[i], tag_, comm_, kCh);
+    }
+  }
+
+  void* buf_;
+  int count_;
+  Datatype dt_;
+  Comm comm_;
+  int tag_;
+  BinomialTree tree_;
+  Request pending_;
+  bool done_ = false;
+};
+
+class IreduceSM final : public RequestImpl {
+ public:
+  IreduceSM(const void* send, void* recv, int count, Datatype dt, ReduceOp op,
+            int root, Comm comm, int tag)
+      : recv_(recv), count_(count), dt_(dt), op_(op), root_(root),
+        comm_(std::move(comm)), tag_(tag),
+        tree_(BinomialTree::Compute(comm_.Rank(), comm_.Size(), root)),
+        acc_(Bytes(count, dt)) {
+    if (!acc_.empty()) std::memcpy(acc_.data(), send, acc_.size());
+    child_bufs_.resize(tree_.children.size());
+    child_reqs_.resize(tree_.children.size());
+    child_done_.assign(tree_.children.size(), false);
+    for (std::size_t i = 0; i < tree_.children.size(); ++i) {
+      child_bufs_[i].resize(acc_.size());
+      child_reqs_[i] = IrecvOnChannel(child_bufs_[i].data(), count_, dt_,
+                                      tree_.children[i], tag_, comm_, kCh);
+    }
+  }
+
+  bool Test(Status*) override {
+    if (done_) return true;
+    bool all = true;
+    for (std::size_t i = 0; i < child_reqs_.size(); ++i) {
+      if (child_done_[i]) continue;
+      if (child_reqs_[i].Test()) {
+        ApplyReduce(op_, dt_, child_bufs_[i].data(), acc_.data(), count_);
+        child_done_[i] = true;
+      } else {
+        all = false;
+      }
+    }
+    if (!all) return false;
+    if (tree_.parent >= 0) {
+      SendOnChannel(acc_.data(), count_, dt_, tree_.parent, tag_, comm_, kCh);
+    } else if (recv_ != nullptr && !acc_.empty()) {
+      std::memcpy(recv_, acc_.data(), acc_.size());
+    }
+    done_ = true;
+    return true;
+  }
+
+ private:
+  void* recv_;
+  int count_;
+  Datatype dt_;
+  ReduceOp op_;
+  int root_;
+  Comm comm_;
+  int tag_;
+  BinomialTree tree_;
+  std::vector<std::byte> acc_;
+  std::vector<std::vector<std::byte>> child_bufs_;
+  std::vector<Request> child_reqs_;
+  std::vector<bool> child_done_;
+  bool done_ = false;
+};
+
+class IscanSM final : public RequestImpl {
+ public:
+  IscanSM(const void* send, void* recv, int count, Datatype dt, ReduceOp op,
+          Comm comm, int tag)
+      : recv_(recv), count_(count), dt_(dt), op_(op), comm_(std::move(comm)),
+        tag_(tag), partial_(Bytes(count, dt)), incoming_(partial_.size()) {
+    if (!partial_.empty()) std::memcpy(partial_.data(), send, partial_.size());
+    AdvanceRounds();
+  }
+
+  bool Test(Status*) override {
+    if (done_) return true;
+    if (!pending_.Test()) return false;
+    // `incoming_` holds the fold over ranks < rank; it is the left operand.
+    ApplyReduce(op_, dt_, partial_.data(), incoming_.data(), count_);
+    partial_.swap(incoming_);
+    d_ <<= 1;
+    AdvanceRounds();
+    return done_;
+  }
+
+ private:
+  void AdvanceRounds() {
+    const int p = comm_.Size();
+    const int rank = comm_.Rank();
+    while (d_ < p) {
+      if (rank + d_ < p) {
+        SendOnChannel(partial_.data(), count_, dt_, rank + d_, tag_, comm_,
+                      kCh);
+      }
+      if (rank - d_ >= 0) {
+        pending_ = IrecvOnChannel(incoming_.data(), count_, dt_, rank - d_,
+                                  tag_, comm_, kCh);
+        return;  // wait for this round's data dependency
+      }
+      d_ <<= 1;
+    }
+    if (!partial_.empty()) std::memcpy(recv_, partial_.data(), partial_.size());
+    done_ = true;
+  }
+
+  void* recv_;
+  int count_;
+  Datatype dt_;
+  ReduceOp op_;
+  Comm comm_;
+  int tag_;
+  std::vector<std::byte> partial_;
+  std::vector<std::byte> incoming_;
+  Request pending_;
+  int d_ = 1;
+  bool done_ = false;
+};
+
+class IgatherSM final : public RequestImpl {
+ public:
+  IgatherSM(const void* send, int count, Datatype dt, void* recv, int root,
+            Comm comm, int tag)
+      : recv_(recv), count_(count), dt_(dt), root_(root),
+        comm_(std::move(comm)), tag_(tag),
+        tree_(BinomialTree::Compute(comm_.Rank(), comm_.Size(), root)) {
+    const int p = comm_.Size();
+    const int relrank = (comm_.Rank() - root + p) % p;
+    extent_ = 1;
+    for (int e : tree_.child_extents) extent_ += e;
+    const std::size_t block = Bytes(count, dt);
+    buf_.resize(static_cast<std::size_t>(extent_) * block);
+    if (block != 0) std::memcpy(buf_.data(), send, block);
+    child_reqs_.resize(tree_.children.size());
+    // Child with extent e and offset m (its relative distance) lands at
+    // buf_[m*block ..]; children are ordered by increasing mask, and the
+    // i-th child's relative offset equals 1<<i.
+    for (std::size_t i = 0; i < tree_.children.size(); ++i) {
+      const std::size_t off = (1ull << i) * block;
+      child_reqs_[i] =
+          IrecvOnChannel(buf_.data() + off, tree_.child_extents[i] * count_,
+                         dt_, tree_.children[i], tag_, comm_, kCh);
+    }
+    (void)relrank;
+  }
+
+  bool Test(Status*) override {
+    if (done_) return true;
+    if (!Testall(std::span<Request>(child_reqs_))) return false;
+    if (tree_.parent >= 0) {
+      SendOnChannel(buf_.data(), extent_ * count_, dt_, tree_.parent, tag_,
+                    comm_, kCh);
+    } else {
+      // Rotate relative-rank-ordered blocks into absolute order.
+      const int p = comm_.Size();
+      const std::size_t block = Bytes(count_, dt_);
+      auto* out = static_cast<std::byte*>(recv_);
+      for (int rel = 0; rel < p; ++rel) {
+        const int abs = (rel + root_) % p;
+        if (block != 0) {
+          std::memcpy(out + static_cast<std::size_t>(abs) * block,
+                      buf_.data() + static_cast<std::size_t>(rel) * block,
+                      block);
+        }
+      }
+    }
+    done_ = true;
+    return true;
+  }
+
+ private:
+  void* recv_;
+  int count_;
+  Datatype dt_;
+  int root_;
+  Comm comm_;
+  int tag_;
+  BinomialTree tree_;
+  int extent_ = 1;
+  std::vector<std::byte> buf_;
+  std::vector<Request> child_reqs_;
+  bool done_ = false;
+};
+
+// Subtree message layout for Igatherv (same as blocking Gatherv):
+// [int32 n][int32 counts[n]][payload], counts in relative-rank order.
+class IgathervSM final : public RequestImpl {
+ public:
+  IgathervSM(const void* send, int count, Datatype dt, void* recv,
+             std::span<const int> recvcounts, std::span<const int> displs,
+             int root, Comm comm, int tag)
+      : recv_(recv), recvcounts_(recvcounts.begin(), recvcounts.end()),
+        displs_(displs.begin(), displs.end()), dt_(dt), root_(root),
+        comm_(std::move(comm)), tag_(tag),
+        tree_(BinomialTree::Compute(comm_.Rank(), comm_.Size(), root)) {
+    counts_.push_back(count);
+    payload_.resize(Bytes(count, dt));
+    if (!payload_.empty()) std::memcpy(payload_.data(), send, payload_.size());
+    child_msgs_.resize(tree_.children.size());
+    child_reqs_.resize(tree_.children.size());
+    child_state_.assign(tree_.children.size(), kProbing);
+  }
+
+  bool Test(Status*) override {
+    if (done_) return true;
+    bool all = true;
+    for (std::size_t i = 0; i < tree_.children.size(); ++i) {
+      if (child_state_[i] == kDone) continue;
+      if (child_state_[i] == kProbing) {
+        Status st;
+        if (!IprobeOnChannel(tree_.children[i], tag_, comm_, kCh, &st)) {
+          all = false;
+          continue;
+        }
+        child_msgs_[i].resize(st.bytes);
+        child_reqs_[i] = IrecvOnChannel(
+            child_msgs_[i].data(), static_cast<int>(st.bytes),
+            Datatype::kByte, tree_.children[i], tag_, comm_, kCh);
+        child_state_[i] = kReceiving;
+      }
+      if (child_state_[i] == kReceiving) {
+        if (child_reqs_[i].Test()) {
+          child_state_[i] = kDone;
+        } else {
+          all = false;
+        }
+      }
+    }
+    if (!all) return false;
+    Finish();
+    done_ = true;
+    return true;
+  }
+
+ private:
+  enum ChildState { kProbing, kReceiving, kDone };
+
+  void AppendChild(const std::vector<std::byte>& msg) {
+    std::int32_t n = 0;
+    std::memcpy(&n, msg.data(), sizeof n);
+    const std::size_t old = counts_.size();
+    counts_.resize(old + static_cast<std::size_t>(n));
+    std::memcpy(counts_.data() + old, msg.data() + sizeof n,
+                sizeof(std::int32_t) * static_cast<std::size_t>(n));
+    const std::size_t hdr =
+        sizeof(std::int32_t) * (1 + static_cast<std::size_t>(n));
+    const std::size_t oldp = payload_.size();
+    payload_.resize(oldp + (msg.size() - hdr));
+    std::memcpy(payload_.data() + oldp, msg.data() + hdr, msg.size() - hdr);
+  }
+
+  void Finish() {
+    // Children arrive in increasing-mask order == relative-rank order.
+    for (const auto& msg : child_msgs_) AppendChild(msg);
+    if (tree_.parent >= 0) {
+      std::vector<std::byte> msg(sizeof(std::int32_t) * (1 + counts_.size()) +
+                                 payload_.size());
+      const std::int32_t n = static_cast<std::int32_t>(counts_.size());
+      std::memcpy(msg.data(), &n, sizeof n);
+      std::memcpy(msg.data() + sizeof n, counts_.data(),
+                  sizeof(std::int32_t) * counts_.size());
+      if (!payload_.empty()) {
+        std::memcpy(msg.data() + sizeof(std::int32_t) * (1 + counts_.size()),
+                    payload_.data(), payload_.size());
+      }
+      SendOnChannel(msg.data(), static_cast<int>(msg.size()), Datatype::kByte,
+                    tree_.parent, tag_, comm_, kCh);
+      return;
+    }
+    const int p = comm_.Size();
+    if (static_cast<int>(counts_.size()) != p) {
+      throw UsageError("Igatherv: internal: incomplete subtree counts");
+    }
+    const std::size_t esize = SizeOf(dt_);
+    auto* out = static_cast<std::byte*>(recv_);
+    std::size_t off = 0;
+    for (int rel = 0; rel < p; ++rel) {
+      const int abs = (rel + root_) % p;
+      if (counts_[rel] != recvcounts_[abs]) {
+        throw UsageError("Igatherv: recvcounts disagree with sent counts");
+      }
+      const std::size_t nbytes =
+          static_cast<std::size_t>(counts_[rel]) * esize;
+      if (nbytes != 0) {
+        std::memcpy(out + static_cast<std::size_t>(displs_[abs]) * esize,
+                    payload_.data() + off, nbytes);
+      }
+      off += nbytes;
+    }
+  }
+
+  void* recv_;
+  std::vector<int> recvcounts_;
+  std::vector<int> displs_;
+  Datatype dt_;
+  int root_;
+  Comm comm_;
+  int tag_;
+  BinomialTree tree_;
+  std::vector<std::int32_t> counts_;
+  std::vector<std::byte> payload_;
+  std::vector<std::vector<std::byte>> child_msgs_;
+  std::vector<Request> child_reqs_;
+  std::vector<ChildState> child_state_;
+  bool done_ = false;
+};
+
+/// Reduce-to-0 then broadcast, chained; used by Iallreduce and Ibarrier.
+class IReduceBcastChain final : public RequestImpl {
+ public:
+  IReduceBcastChain(const void* send, void* recv, int count, Datatype dt,
+                    ReduceOp op, Comm comm, int tag)
+      : recv_(recv), count_(count), dt_(dt), comm_(std::move(comm)),
+        tag_(tag) {
+    reduce_ = std::make_shared<IreduceSM>(send, recv, count, dt, op, 0, comm_,
+                                          tag_);
+  }
+
+  bool Test(Status*) override {
+    if (done_) return true;
+    if (bcast_ == nullptr) {
+      Status st;
+      if (!reduce_->Progress(&st)) return false;
+      bcast_ = std::make_shared<IbcastSM>(recv_, count_, dt_, 0, comm_,
+                                          tag_ + 1);
+    }
+    Status st;
+    if (!bcast_->Progress(&st)) return false;
+    done_ = true;
+    return true;
+  }
+
+ private:
+  void* recv_;
+  int count_;
+  Datatype dt_;
+  Comm comm_;
+  int tag_;
+  std::shared_ptr<IreduceSM> reduce_;
+  std::shared_ptr<IbcastSM> bcast_;
+  bool done_ = false;
+};
+
+class IbarrierSM final : public RequestImpl {
+ public:
+  explicit IbarrierSM(Comm comm, int tag)
+      : chain_(&token_, &token_, 1, Datatype::kByte, ReduceOp::kBor,
+               std::move(comm), tag) {}
+
+  bool Test(Status* st) override { return chain_.Progress(st); }
+
+ private:
+  std::uint8_t token_ = 0;
+  IReduceBcastChain chain_;
+};
+
+int NextTagPair(const Comm& comm) {
+  // Chained operations (allreduce, barrier) consume two tag values so the
+  // reduce and broadcast halves never share a (source, tag) pair.
+  const int t = comm.NextNbcTag();
+  comm.NextNbcTag();
+  return t * 2;  // even base; +1 used by the chained second stage
+}
+
+}  // namespace
+}  // namespace detail
+
+Request Ibcast(void* buf, int count, Datatype dt, int root, const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Ibcast: null communicator");
+  if (root < 0 || root >= comm.Size()) throw UsageError("Ibcast: bad root");
+  return Request(std::make_shared<detail::IbcastSM>(buf, count, dt, root,
+                                                    comm,
+                                                    2 * comm.NextNbcTag()));
+}
+
+Request Ireduce(const void* send, void* recv, int count, Datatype dt,
+                ReduceOp op, int root, const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Ireduce: null communicator");
+  if (root < 0 || root >= comm.Size()) throw UsageError("Ireduce: bad root");
+  return Request(std::make_shared<detail::IreduceSM>(
+      send, recv, count, dt, op, root, comm, 2 * comm.NextNbcTag()));
+}
+
+Request Iallreduce(const void* send, void* recv, int count, Datatype dt,
+                   ReduceOp op, const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Iallreduce: null communicator");
+  return Request(std::make_shared<detail::IReduceBcastChain>(
+      send, recv, count, dt, op, comm, detail::NextTagPair(comm)));
+}
+
+Request Iscan(const void* send, void* recv, int count, Datatype dt,
+              ReduceOp op, const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Iscan: null communicator");
+  return Request(std::make_shared<detail::IscanSM>(send, recv, count, dt, op,
+                                                   comm,
+                                                   2 * comm.NextNbcTag()));
+}
+
+Request Igather(const void* send, int count, Datatype dt, void* recv,
+                int root, const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Igather: null communicator");
+  if (root < 0 || root >= comm.Size()) throw UsageError("Igather: bad root");
+  return Request(std::make_shared<detail::IgatherSM>(
+      send, count, dt, recv, root, comm, 2 * comm.NextNbcTag()));
+}
+
+Request Igatherv(const void* send, int count, Datatype dt, void* recv,
+                 std::span<const int> recvcounts, std::span<const int> displs,
+                 int root, const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Igatherv: null communicator");
+  if (root < 0 || root >= comm.Size()) throw UsageError("Igatherv: bad root");
+  return Request(std::make_shared<detail::IgathervSM>(
+      send, count, dt, recv, recvcounts, displs, root, comm,
+      2 * comm.NextNbcTag()));
+}
+
+Request Ibarrier(const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Ibarrier: null communicator");
+  return Request(
+      std::make_shared<detail::IbarrierSM>(comm, detail::NextTagPair(comm)));
+}
+
+}  // namespace mpisim

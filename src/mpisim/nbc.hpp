@@ -1,0 +1,65 @@
+// Nonblocking collective operations (MPI-3 style).
+//
+// Each operation is a round-based state machine in the spirit of Hoefler &
+// Lumsdaine's NBC scheme, referenced in Section III of the paper: a round
+// performs local work and posts the point-to-point operations it depends
+// on; the next round runs once those complete. Progress happens inside
+// Test/Wait calls -- there is no progress thread.
+//
+// Tag management reproduces the scheme the paper describes: every
+// nonblocking collective draws the next value from the communicator's tag
+// counter, which stays synchronous across ranks because all ranks invoke
+// nonblocking collectives on a communicator in the same order. Traffic
+// runs on the communicator's dedicated kNbc sub-channel.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mpisim/comm.hpp"
+#include "mpisim/datatype.hpp"
+#include "mpisim/request.hpp"
+
+namespace mpisim {
+
+/// Nonblocking binomial-tree broadcast.
+Request Ibcast(void* buf, int count, Datatype dt, int root, const Comm& comm);
+
+/// Nonblocking binomial-tree reduction to `root` (commutative ops).
+Request Ireduce(const void* send, void* recv, int count, Datatype dt,
+                ReduceOp op, int root, const Comm& comm);
+
+/// Nonblocking reduce-to-0 followed by broadcast.
+Request Iallreduce(const void* send, void* recv, int count, Datatype dt,
+                   ReduceOp op, const Comm& comm);
+
+/// Nonblocking inclusive prefix reduction (distance doubling).
+Request Iscan(const void* send, void* recv, int count, Datatype dt,
+              ReduceOp op, const Comm& comm);
+
+/// Nonblocking gather with uniform block size.
+Request Igather(const void* send, int count, Datatype dt, void* recv,
+                int root, const Comm& comm);
+
+/// Nonblocking gather with per-rank counts (significant at root).
+Request Igatherv(const void* send, int count, Datatype dt, void* recv,
+                 std::span<const int> recvcounts, std::span<const int> displs,
+                 int root, const Comm& comm);
+
+/// Nonblocking barrier (reduce + broadcast of an empty token).
+Request Ibarrier(const Comm& comm);
+
+namespace detail {
+
+/// Binomial-tree topology relative to `root`, shared by the state machines.
+struct BinomialTree {
+  int parent = -1;                // comm rank of parent, -1 at root
+  std::vector<int> children;      // comm ranks
+  std::vector<int> child_extents; // subtree sizes, aligned with children
+
+  static BinomialTree Compute(int rank, int p, int root);
+};
+
+}  // namespace detail
+
+}  // namespace mpisim

@@ -1,0 +1,81 @@
+// Nonblocking-operation requests.
+//
+// A Request is a shared handle to the state machine of one nonblocking
+// operation. Progress is made exclusively inside Test() calls -- mpisim has
+// no asynchronous progress thread, matching the test-driven progression
+// model that both the paper's RBC library and Hoefler-style NBC schedules
+// use.
+#pragma once
+
+#include <memory>
+
+#include "mpisim/status.hpp"
+
+namespace mpisim {
+
+namespace detail {
+
+/// Base class of all request state machines. Completion is cached in the
+/// shared state so every copy of a Request handle observes it.
+class RequestImpl {
+ public:
+  virtual ~RequestImpl() = default;
+
+  /// Progresses the operation; caches completion and status.
+  bool Progress(Status* st) {
+    if (!done_) done_ = Test(&st_);
+    if (done_ && st != nullptr) *st = st_;
+    return done_;
+  }
+
+ protected:
+  /// Attempts to make progress. Returns true exactly when the operation is
+  /// locally complete; fills `st` (if non-null) for receive-like
+  /// operations. Must be cheap and non-blocking. Called at most until it
+  /// first returns true.
+  virtual bool Test(Status* st) = 0;
+
+ private:
+  bool done_ = false;
+  Status st_{};
+};
+
+/// A request that is born complete (eager sends).
+class CompletedRequest final : public RequestImpl {
+ public:
+  explicit CompletedRequest(Status st = {}) : st_(st) {}
+
+ protected:
+  bool Test(Status* st) override {
+    if (st != nullptr) *st = st_;
+    return true;
+  }
+
+ private:
+  Status st_;
+};
+
+}  // namespace detail
+
+/// Value-semantic request handle. A default-constructed Request is the null
+/// request, which tests as complete (MPI_REQUEST_NULL semantics).
+class Request {
+ public:
+  Request() = default;
+  explicit Request(std::shared_ptr<detail::RequestImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  bool IsNull() const { return impl_ == nullptr; }
+
+  /// Non-blocking completion test; completion is cached in the shared
+  /// state, so all copies of this handle observe it.
+  bool Test(Status* st = nullptr) {
+    if (impl_ == nullptr) return true;
+    return impl_->Progress(st);
+  }
+
+ private:
+  std::shared_ptr<detail::RequestImpl> impl_;
+};
+
+}  // namespace mpisim

@@ -1,0 +1,124 @@
+#include "mpisim/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace mpisim {
+
+namespace {
+thread_local RankContext* tls_ctx = nullptr;
+}  // namespace
+
+RankContext& Ctx() {
+  if (tls_ctx == nullptr) {
+    throw UsageError("mpisim: operation called outside of a rank thread");
+  }
+  return *tls_ctx;
+}
+
+bool InsideRank() { return tls_ctx != nullptr; }
+
+Runtime::Runtime(Options options) : options_(std::move(options)) {
+  if (options_.num_ranks <= 0) {
+    throw UsageError("Runtime: num_ranks must be positive");
+  }
+  mailboxes_.reserve(options_.num_ranks);
+  contexts_.reserve(options_.num_ranks);
+  for (int r = 0; r < options_.num_ranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    auto ctx = std::make_unique<RankContext>();
+    ctx->runtime = this;
+    ctx->world_rank = r;
+    ctx->world_size = options_.num_ranks;
+    ctx->rng.seed(options_.seed ^
+                  (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(r + 1)));
+    ctx->ctx_mask.set(0);  // base id 0 is the world communicator
+    contexts_.push_back(std::move(ctx));
+  }
+}
+
+void Runtime::Run(const std::function<void(Comm&)>& rank_main) {
+  const int p = options_.num_ranks;
+  aborted_.store(false, std::memory_order_relaxed);
+  for (auto& mb : mailboxes_) mb->ResetAbort();
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto body = [&](int rank) {
+    tls_ctx = contexts_[rank].get();
+    try {
+      Comm world =
+          Comm::Make(Group::World(p), /*base=*/0, /*my_rank=*/rank,
+                     TupleCtx{.a = 0, .b = 0, .f = 0, .l = p - 1, .c = 0});
+      rank_main(world);
+    } catch (const AbortedError&) {
+      // Another rank failed first; exit quietly.
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      MarkAborted();
+      for (auto& mb : mailboxes_) mb->Abort();
+    }
+    tls_ctx = nullptr;
+  };
+
+  if (p == 1) {
+    body(0);  // run inline; keeps single-rank tests trivially debuggable
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(p);
+    for (int r = 0; r < p; ++r) threads.emplace_back(body, r);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Runtime::Exec(int p, const std::function<void(Comm&)>& rank_main) {
+  Runtime rt(Options{.num_ranks = p});
+  rt.Run(rank_main);
+}
+
+Mailbox& Runtime::MailboxOf(int world_rank) {
+  if (world_rank < 0 || world_rank >= options_.num_ranks) {
+    throw UsageError("Runtime::MailboxOf: rank out of range");
+  }
+  return *mailboxes_[world_rank];
+}
+
+RankContext& Runtime::ContextOf(int world_rank) {
+  if (world_rank < 0 || world_rank >= options_.num_ranks) {
+    throw UsageError("Runtime::ContextOf: rank out of range");
+  }
+  return *contexts_[world_rank];
+}
+
+std::uint64_t Runtime::InternTuple(const TupleCtx& t) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto [it, inserted] = tuple_registry_.emplace(t, next_tuple_base_);
+  if (inserted) ++next_tuple_base_;
+  return it->second;
+}
+
+double Runtime::MaxVirtualTime() const {
+  double m = 0.0;
+  for (const auto& c : contexts_) m = std::max(m, c->clock.Now());
+  return m;
+}
+
+void Runtime::ResetClocksAndStats() {
+  for (auto& c : contexts_) {
+    c->clock.Reset();
+    c->stats = Stats{};
+  }
+}
+
+Stats Runtime::TotalStats() const {
+  Stats s;
+  for (const auto& c : contexts_) s += c->stats;
+  return s;
+}
+
+}  // namespace mpisim

@@ -1,0 +1,107 @@
+// The runtime: spawns p ranks as threads, owns their mailboxes, clocks and
+// context-mask state, and provides the world communicator.
+#pragma once
+
+#include <atomic>
+#include <bitset>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "mpisim/clock.hpp"
+#include "mpisim/comm.hpp"
+#include "mpisim/error.hpp"
+#include "mpisim/mailbox.hpp"
+
+namespace mpisim {
+
+/// Vendor profile for the communicator-creation substitution (DESIGN.md §2).
+/// kFast models an implementation whose MPI_Comm_create_group agrees on a
+/// context id with a binomial-tree all-reduce over context masks (a la
+/// Intel/MPICH); kSlowCreateGroup models one that serializes the agreement
+/// around a ring (reproducing the disproportionately slow IBM
+/// MPI_Comm_create_group of the paper's Figure 5).
+enum class VendorProfile {
+  kFast,
+  kSlowCreateGroup,
+};
+
+/// Per-rank state. Owned by the runtime, accessed by exactly one thread.
+struct RankContext {
+  class Runtime* runtime = nullptr;
+  int world_rank = -1;
+  int world_size = 0;
+  VirtualClock clock;
+  Stats stats;
+  std::mt19937_64 rng;
+  /// Bit i set <=> mask context id i is in use at this rank.
+  std::bitset<kMaxMaskContexts> ctx_mask;
+  /// Counter `b` of the Section-VI tuple scheme.
+  std::uint32_t icomm_counter = 0;
+};
+
+class Runtime {
+ public:
+  struct Options {
+    int num_ranks = 1;
+    CostModel cost{};
+    VendorProfile profile = VendorProfile::kFast;
+    std::uint64_t seed = 0x5EEDu;
+    /// Blocking operations throw DeadlockError after this long.
+    std::chrono::milliseconds deadlock_timeout{60'000};
+  };
+
+  explicit Runtime(Options options);
+
+  /// Runs `rank_main(world)` on every rank, each in its own thread, and
+  /// joins them. If any rank throws, all blocked ranks are aborted and the
+  /// first exception is re-thrown here. May be called multiple times; the
+  /// context masks, clocks and counters persist between calls.
+  void Run(const std::function<void(Comm&)>& rank_main);
+
+  /// Convenience: default options with p ranks.
+  static void Exec(int p, const std::function<void(Comm&)>& rank_main);
+
+  Mailbox& MailboxOf(int world_rank);
+  RankContext& ContextOf(int world_rank);
+  const Options& options() const { return options_; }
+
+  /// Interns a Section-VI tuple context id into a dense base id (stable:
+  /// the same tuple always maps to the same id). Thread-safe.
+  std::uint64_t InternTuple(const TupleCtx& t);
+
+  /// True once any rank failed; spin-waiting operations poll this so they
+  /// terminate instead of waiting for messages that will never arrive.
+  bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
+  void MarkAborted() { aborted_.store(true, std::memory_order_relaxed); }
+
+  /// Maximum virtual time over all ranks (call after Run).
+  double MaxVirtualTime() const;
+  /// Resets all rank clocks and traffic counters (between benchmark reps).
+  void ResetClocksAndStats();
+  /// Sum of all ranks' traffic counters (call after Run).
+  Stats TotalStats() const;
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<RankContext>> contexts_;
+  std::atomic<bool> aborted_{false};
+  std::mutex registry_mu_;
+  std::unordered_map<TupleCtx, std::uint64_t, TupleCtxHash> tuple_registry_;
+  std::uint64_t next_tuple_base_ = kMaxMaskContexts;
+};
+
+/// Context of the calling rank thread. Throws UsageError when called from
+/// outside Runtime::Run.
+RankContext& Ctx();
+
+/// True when the calling thread is a rank thread.
+bool InsideRank();
+
+}  // namespace mpisim

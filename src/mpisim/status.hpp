@@ -1,0 +1,24 @@
+// Receive status, mirroring MPI_Status.
+#pragma once
+
+#include <cstddef>
+
+#include "mpisim/datatype.hpp"
+#include "mpisim/message.hpp"
+
+namespace mpisim {
+
+struct Status {
+  /// Rank of the sender within the communicator of the receive.
+  int source = kAnySource;
+  int tag = kAnyTag;
+  /// Payload size in bytes.
+  std::size_t bytes = 0;
+
+  /// Number of elements of `dt` in the message (MPI_Get_count).
+  int Count(Datatype dt) const {
+    return static_cast<int>(bytes / SizeOf(dt));
+  }
+};
+
+}  // namespace mpisim

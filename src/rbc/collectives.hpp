@@ -1,0 +1,120 @@
+// RBC collective operations (Table I of the paper).
+//
+// All collectives are implemented with RBC point-to-point communication
+// over binomial-tree (and, for scan, distance-doubling) schedules --
+// generic patterns, theoretically optimal for small inputs (Section V-D).
+// The nonblocking forms are state machines progressed by rbc::Test: each
+// state performs local work and ends at its data dependencies.
+//
+// Tags: each blocking collective uses one distinct exclusive reserved tag;
+// each nonblocking collective defaults to its own reserved tag but accepts
+// a user-supplied tag (last parameter), which avoids interference between
+// simultaneous nonblocking collectives on overlapping RBC communicators.
+#pragma once
+
+#include <span>
+
+#include "rbc/comm.hpp"
+#include "rbc/request.hpp"
+#include "rbc/tags.hpp"
+
+namespace rbc {
+
+/// Broadcast from RBC rank `root` to all ranks of the range.
+int Bcast(void* buffer, int count, Datatype dt, int root, const Comm& comm);
+int Ibcast(void* buffer, int count, Datatype dt, int root, const Comm& comm,
+           Request* request, int tag = RBC_IBCAST_TAG);
+
+/// Element-wise reduction to `root` (commutative operators).
+int Reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+           ReduceOp op, int root, const Comm& comm);
+int Ireduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+            ReduceOp op, int root, const Comm& comm, Request* request,
+            int tag = RBC_IREDUCE_TAG);
+
+/// Inclusive prefix reduction.
+int Scan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+         ReduceOp op, const Comm& comm);
+int Iscan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+          ReduceOp op, const Comm& comm, Request* request,
+          int tag = RBC_ISCAN_TAG);
+
+/// Gather of uniform blocks to `root` (recvbuf: Size()*count elements,
+/// ordered by RBC rank; significant at root only).
+int Gather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+           int root, const Comm& comm);
+int Igather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+            int root, const Comm& comm, Request* request,
+            int tag = RBC_IGATHER_TAG);
+
+/// Gather with per-rank counts; recvcounts/displs (elements) significant
+/// at root only.
+int Gatherv(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+            std::span<const int> recvcounts, std::span<const int> displs,
+            int root, const Comm& comm);
+int Igatherv(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+             std::span<const int> recvcounts, std::span<const int> displs,
+             int root, const Comm& comm, Request* request,
+             int tag = RBC_IGATHERV_TAG);
+
+/// Synchronizes all ranks of the range.
+int Barrier(const Comm& comm);
+int Ibarrier(const Comm& comm, Request* request, int tag = RBC_IBARRIER_TAG);
+
+// ---------------------------------------------------------------------------
+// Extensions beyond Table I. Section V-D: "It is easy to extend our library
+// by additional collective operations, e.g., for large input sizes." These
+// follow the same state-machine construction over RBC point-to-point
+// operations and the same tag discipline.
+// ---------------------------------------------------------------------------
+
+// Note: Exscan/Iexscan consume two consecutive tags (the inclusive scan
+// and the right-shift), so the tag after theirs stays unassigned.
+inline constexpr int RBC_IALLREDUCE_TAG = kReservedTagBase + 22;
+inline constexpr int RBC_IALLGATHER_TAG = kReservedTagBase + 23;
+inline constexpr int RBC_IEXSCAN_TAG = kReservedTagBase + 24;  // +25 too
+inline constexpr int RBC_ISCATTER_TAG = kReservedTagBase + 26;
+inline constexpr int kTagAllreduce = kReservedTagBase + 7;
+inline constexpr int kTagAllgather = kReservedTagBase + 8;
+inline constexpr int kTagExscan = kReservedTagBase + 9;  // +10 too
+inline constexpr int kTagScatter = kReservedTagBase + 11;
+inline constexpr int kTagBcastLarge = kReservedTagBase + 12;
+
+/// Reduce to rank 0 chained with a broadcast.
+int Allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+              ReduceOp op, const Comm& comm);
+int Iallreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+               ReduceOp op, const Comm& comm, Request* request,
+               int tag = RBC_IALLREDUCE_TAG);
+
+/// Gather to rank 0 chained with a broadcast; recvbuf holds Size()*count
+/// elements on every rank.
+int Allgather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+              const Comm& comm);
+int Iallgather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+               const Comm& comm, Request* request,
+               int tag = RBC_IALLGATHER_TAG);
+
+/// Exclusive prefix reduction; rank 0's output is zero-filled.
+int Exscan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+           ReduceOp op, const Comm& comm);
+int Iexscan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
+            ReduceOp op, const Comm& comm, Request* request,
+            int tag = RBC_IEXSCAN_TAG);
+
+/// Scatters Size() consecutive blocks of `count` elements from the root's
+/// sendbuf down a binomial tree (the inverse of Gather).
+int Scatter(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+            int root, const Comm& comm);
+int Iscatter(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+             int root, const Comm& comm, Request* request,
+             int tag = RBC_ISCATTER_TAG);
+
+/// Large-input broadcast: binomial scatter of p segments followed by a
+/// ring allgather -- 2*beta*l bandwidth instead of the binomial tree's
+/// beta*l*log(p), at the price of O(alpha*p) latency. Callers pick the
+/// algorithm by payload (bench_ext_bcast_large locates the crossover).
+int BcastLarge(void* buffer, int count, Datatype dt, int root,
+               const Comm& comm);
+
+}  // namespace rbc

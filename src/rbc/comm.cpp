@@ -1,0 +1,71 @@
+#include "rbc/comm.hpp"
+
+namespace rbc {
+
+using mpisim::UsageError;
+
+int Comm::ToMpi(int rbc_rank) const {
+  if (rbc_rank < 0 || rbc_rank >= size_) {
+    throw UsageError("rbc::Comm: rank out of range");
+  }
+  return first_ + rbc_rank * stride_;
+}
+
+int Comm::FromMpi(int mpi_rank) const {
+  const int off = mpi_rank - first_;
+  if (off < 0 || off % stride_ != 0) return -1;
+  const int r = off / stride_;
+  return r < size_ ? r : -1;
+}
+
+Comm Comm::Raw(mpisim::Comm mpi, int first, int size, int stride) {
+  if (mpi.IsNull()) throw UsageError("rbc::Comm: null MPI communicator");
+  if (size <= 0) throw UsageError("rbc::Comm: empty range");
+  if (stride <= 0) throw UsageError("rbc::Comm: stride must be positive");
+  if (first < 0 || first + (size - 1) * stride >= mpi.Size()) {
+    throw UsageError("rbc::Comm: range exceeds MPI communicator");
+  }
+  Comm c;
+  c.mpi_ = std::move(mpi);
+  c.first_ = first;
+  c.size_ = size;
+  c.stride_ = stride;
+  c.rank_ = c.FromMpi(c.mpi_.Rank());
+  return c;
+}
+
+void Create_RBC_Comm(const mpisim::Comm& mpi, Comm* out) {
+  if (out == nullptr) throw UsageError("Create_RBC_Comm: null out");
+  *out = Comm::Raw(mpi, 0, mpi.Size(), 1);
+}
+
+void Split_RBC_Comm(const Comm& parent, int first, int last, Comm* out) {
+  Split_RBC_Comm_Strided(parent, first, last, 1, out);
+}
+
+void Split_RBC_Comm_Strided(const Comm& parent, int first, int last,
+                            int stride, Comm* out) {
+  if (out == nullptr) throw UsageError("Split_RBC_Comm: null out");
+  if (parent.IsNull()) throw UsageError("Split_RBC_Comm: null parent");
+  if (first < 0 || last >= parent.Size() || first > last) {
+    throw UsageError("Split_RBC_Comm: invalid range");
+  }
+  if (stride <= 0) throw UsageError("Split_RBC_Comm: stride must be positive");
+  const int size = (last - first) / stride + 1;
+  *out = Comm::Raw(parent.Mpi(), parent.ToMpi(first), size,
+                   parent.Stride() * stride);
+}
+
+int Comm_rank(const Comm& comm, int* rank) {
+  if (comm.IsNull()) throw UsageError("Comm_rank: null communicator");
+  if (rank != nullptr) *rank = comm.Rank();
+  return 0;
+}
+
+int Comm_size(const Comm& comm, int* size) {
+  if (comm.IsNull()) throw UsageError("Comm_size: null communicator");
+  if (size != nullptr) *size = comm.Size();
+  return 0;
+}
+
+}  // namespace rbc

@@ -1,0 +1,8 @@
+// Umbrella header for the RBC library.
+#pragma once
+
+#include "rbc/collectives.hpp"
+#include "rbc/comm.hpp"
+#include "rbc/p2p.hpp"
+#include "rbc/request.hpp"
+#include "rbc/tags.hpp"

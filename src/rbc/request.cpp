@@ -1,0 +1,60 @@
+#include "rbc/request.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace rbc {
+namespace {
+
+/// Spin with yields, honouring runtime aborts and the deadlock timeout so
+/// a wedged Wait fails the test instead of hanging it.
+template <typename Poll>
+void SpinUntil(Poll poll, const char* what) {
+  mpisim::RankContext& rc = mpisim::Ctx();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        rc.runtime->options().deadlock_timeout;
+  while (!poll()) {
+    if (rc.runtime->Aborted()) throw mpisim::AbortedError();
+    if (std::chrono::steady_clock::now() > deadline) {
+      throw mpisim::DeadlockError(std::string("rbc: ") + what +
+                                  " timed out (suspected deadlock)");
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+int Test(Request* request, int* flag, Status* st) {
+  if (request == nullptr) throw mpisim::UsageError("rbc::Test: null request");
+  const bool done = request->Poll(st);
+  if (flag != nullptr) *flag = done ? 1 : 0;
+  return 0;
+}
+
+int Wait(Request* request, Status* st) {
+  if (request == nullptr) throw mpisim::UsageError("rbc::Wait: null request");
+  SpinUntil([&] { return request->Poll(st); }, "Wait");
+  return 0;
+}
+
+int Testall(std::span<Request> requests, int* flag) {
+  bool all = true;
+  for (Request& r : requests) all = r.Poll(nullptr) && all;
+  if (flag != nullptr) *flag = all ? 1 : 0;
+  return 0;
+}
+
+int Waitall(std::span<Request> requests) {
+  SpinUntil(
+      [&] {
+        int flag = 0;
+        Testall(requests, &flag);
+        return flag != 0;
+      },
+      "Waitall");
+  return 0;
+}
+
+}  // namespace rbc

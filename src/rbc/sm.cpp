@@ -1,0 +1,10 @@
+#include "rbc/sm.hpp"
+
+namespace rbc::detail {
+
+void RunToCompletion(std::shared_ptr<RequestImpl> sm, const char* what) {
+  Request req(std::move(sm));
+  SpinUntil([&] { return req.Poll(nullptr); }, what);
+}
+
+}  // namespace rbc::detail

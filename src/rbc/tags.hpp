@@ -1,0 +1,35 @@
+// Reserved tag space of the RBC library (Section V-D).
+//
+// RBC cannot allocate MPI context ids, so collective traffic shares the
+// underlying MPI communicator with user point-to-point traffic. Each
+// blocking collective owns one distinct exclusive tag; each nonblocking
+// collective owns a distinct *default* tag which the caller may override
+// (the extra `tag` parameter of the I* operations) to run several
+// nonblocking collectives simultaneously on overlapping communicators.
+// User point-to-point tags must stay below kReservedTagBase.
+#pragma once
+
+namespace rbc {
+
+/// First reserved tag; rbc::Send / rbc::Isend reject tags >= this.
+inline constexpr int kReservedTagBase = 1 << 24;
+
+// Blocking collectives (one exclusive tag each).
+inline constexpr int kTagBcast = kReservedTagBase + 0;
+inline constexpr int kTagReduce = kReservedTagBase + 1;
+inline constexpr int kTagScan = kReservedTagBase + 2;
+inline constexpr int kTagGather = kReservedTagBase + 3;
+inline constexpr int kTagGatherv = kReservedTagBase + 4;
+inline constexpr int kTagBarrierUp = kReservedTagBase + 5;
+inline constexpr int kTagBarrierDown = kReservedTagBase + 6;
+
+// Default tags of the nonblocking collectives (user-overridable, mirroring
+// `int tag = RBC_IBCAST_TAG` in the paper's Ibcast signature).
+inline constexpr int RBC_IBCAST_TAG = kReservedTagBase + 16;
+inline constexpr int RBC_IREDUCE_TAG = kReservedTagBase + 17;
+inline constexpr int RBC_ISCAN_TAG = kReservedTagBase + 18;
+inline constexpr int RBC_IGATHER_TAG = kReservedTagBase + 19;
+inline constexpr int RBC_IGATHERV_TAG = kReservedTagBase + 20;
+inline constexpr int RBC_IBARRIER_TAG = kReservedTagBase + 21;
+
+}  // namespace rbc

@@ -1,0 +1,75 @@
+#include "sort/assignment.hpp"
+
+#include <algorithm>
+
+#include "mpisim/error.hpp"
+
+namespace jsort {
+
+std::int64_t CapacityLayout::CapOf(int i) const {
+  if (i < 0 || i >= p) throw mpisim::UsageError("CapacityLayout: bad rank");
+  if (p == 1) return cap_first;
+  if (i == 0) return cap_first;
+  if (i == p - 1) return cap_last;
+  return quota;
+}
+
+std::int64_t CapacityLayout::PrefixBefore(int i) const {
+  if (i < 0 || i > p) throw mpisim::UsageError("CapacityLayout: bad rank");
+  if (i == 0) return 0;
+  if (p == 1) return cap_first;
+  std::int64_t s = cap_first + static_cast<std::int64_t>(i - 1) * quota;
+  if (i == p) s += cap_last - quota;  // the last rank deviates from quota
+  return s;
+}
+
+std::int64_t CapacityLayout::Total() const { return PrefixBefore(p); }
+
+int CapacityLayout::RankOfSlot(std::int64_t slot) const {
+  if (slot < 0 || slot >= Total()) {
+    throw mpisim::UsageError("CapacityLayout: slot out of range");
+  }
+  if (p == 1 || slot < cap_first) return 0;
+  if (p == 2) return 1;
+  // Interior ranks have uniform quota.
+  const int i = 1 + static_cast<int>((slot - cap_first) / quota);
+  return std::min(i, p - 1);
+}
+
+bool CapacityLayout::Valid() const {
+  if (p <= 0) return false;
+  if (p == 1) return cap_first == cap_last && cap_first >= 0;
+  if (cap_first < 0 || cap_last < 0) return false;
+  if (cap_first > quota || cap_last > quota) return false;
+  if (p > 2 && quota <= 0) return false;
+  return true;
+}
+
+std::vector<Chunk> AssignChunks(const CapacityLayout& layout,
+                                std::int64_t slot_begin,
+                                std::int64_t slot_end) {
+  std::vector<Chunk> chunks;
+  if (slot_begin >= slot_end) return chunks;
+  std::int64_t slot = slot_begin;
+  int target = layout.RankOfSlot(slot);
+  while (slot < slot_end) {
+    const std::int64_t target_end =
+        layout.PrefixBefore(target) + layout.CapOf(target);
+    const std::int64_t take = std::min(slot_end, target_end) - slot;
+    if (take > 0) chunks.push_back(Chunk{target, take});
+    slot += take;
+    ++target;
+  }
+  return chunks;
+}
+
+std::int64_t OverlapWithRegion(const CapacityLayout& layout, int my_rank,
+                               std::int64_t region_begin,
+                               std::int64_t region_end) {
+  const std::int64_t a = layout.PrefixBefore(my_rank);
+  const std::int64_t b = a + layout.CapOf(my_rank);
+  return std::max<std::int64_t>(
+      0, std::min(b, region_end) - std::max(a, region_begin));
+}
+
+}  // namespace jsort

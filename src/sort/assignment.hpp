@@ -1,0 +1,65 @@
+// Capacity layout and greedy message assignment of JQuick (Section VII).
+//
+// Within one task over p group ranks, the receive capacities are:
+//   rank 0      -> cap_first   (the "remaining load r of the first process")
+//   ranks 1..p-2 -> quota      (the uniform per-process load n/p)
+//   rank p-1    -> cap_last
+// The task's slot space is the concatenation of these capacity intervals.
+// After the prefix sums, small elements fill slots [0, S) and large
+// elements fill slots [S, total); the process whose capacity interval
+// straddles S is the janus process. Everything here is closed-form local
+// arithmetic -- no rank ever needs the full capacity vector.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace jsort {
+
+struct CapacityLayout {
+  int p = 1;                    // number of group ranks in the task
+  std::int64_t quota = 0;       // uniform interior capacity (n/p)
+  std::int64_t cap_first = 0;   // capacity of rank 0
+  std::int64_t cap_last = 0;    // capacity of rank p-1 (== cap_first if p==1)
+
+  /// Capacity of rank i.
+  std::int64_t CapOf(int i) const;
+
+  /// Sum of capacities of ranks < i (exclusive prefix), O(1).
+  std::int64_t PrefixBefore(int i) const;
+
+  /// Total capacity == number of elements of the task.
+  std::int64_t Total() const;
+
+  /// Rank whose capacity interval contains `slot` (0 <= slot < Total()).
+  int RankOfSlot(std::int64_t slot) const;
+
+  /// Validates internal consistency (positive capacities, quota bounds).
+  bool Valid() const;
+};
+
+/// One outgoing transfer of the data exchange: `count` consecutive
+/// elements to group rank `target`.
+struct Chunk {
+  int target = 0;
+  std::int64_t count = 0;
+
+  friend bool operator==(const Chunk&, const Chunk&) = default;
+};
+
+/// Greedy sender-side assignment (Section VII): the caller's elements
+/// occupy slot interval [slot_begin, slot_end) of the layout; returns the
+/// per-target chunks in slot order. Each sender produces at most
+/// 2 + (#ranks spanned) chunks.
+std::vector<Chunk> AssignChunks(const CapacityLayout& layout,
+                                std::int64_t slot_begin,
+                                std::int64_t slot_end);
+
+/// Receive-side bookkeeping: how many of my capacity slots fall into the
+/// region [region_begin, region_end)?
+std::int64_t OverlapWithRegion(const CapacityLayout& layout, int my_rank,
+                               std::int64_t region_begin,
+                               std::int64_t region_end);
+
+}  // namespace jsort

@@ -1,0 +1,93 @@
+#include "sort/checks.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace jsort {
+namespace {
+
+/// splitmix64-style bit mixer; applied to the raw bit pattern of each
+/// element so that xor over all elements is order- and
+/// distribution-independent.
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t BitsOf(double v) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+}  // namespace
+
+Fingerprint GlobalFingerprint(std::span<const double> local,
+                              const rbc::Comm& comm) {
+  Fingerprint mine;
+  mine.count = static_cast<std::int64_t>(local.size());
+  for (double v : local) {
+    mine.hash_sum += Mix(BitsOf(v));
+    mine.sum += v;
+  }
+  Fingerprint global = mine;
+  rbc::Reduce(&mine.count, &global.count, 1, rbc::Datatype::kInt64,
+              rbc::ReduceOp::kSum, 0, comm);
+  rbc::Reduce(&mine.hash_sum, &global.hash_sum, 1, rbc::Datatype::kUint64,
+              rbc::ReduceOp::kSum, 0, comm);
+  rbc::Reduce(&mine.sum, &global.sum, 1, rbc::Datatype::kFloat64,
+              rbc::ReduceOp::kSum, 0, comm);
+  rbc::Bcast(&global.count, 1, rbc::Datatype::kInt64, 0, comm);
+  rbc::Bcast(&global.hash_sum, 1, rbc::Datatype::kUint64, 0, comm);
+  rbc::Bcast(&global.sum, 1, rbc::Datatype::kFloat64, 0, comm);
+  return global;
+}
+
+bool IsGloballySorted(std::span<const double> local, const rbc::Comm& comm) {
+  const std::uint8_t locally_sorted =
+      std::is_sorted(local.begin(), local.end()) ? 1 : 0;
+  // Per-rank summary: {has_elements, first, last, locally_sorted}.
+  const double summary[4] = {
+      local.empty() ? 0.0 : 1.0,
+      local.empty() ? 0.0 : local.front(),
+      local.empty() ? 0.0 : local.back(),
+      static_cast<double>(locally_sorted),
+  };
+  std::vector<double> all;
+  if (comm.Rank() == 0) {
+    all.resize(static_cast<std::size_t>(comm.Size()) * 4);
+  }
+  rbc::Gather(summary, 4, rbc::Datatype::kFloat64, all.data(), 0, comm);
+  std::uint8_t ok = 1;
+  if (comm.Rank() == 0) {
+    bool have_prev = false;
+    double prev_last = 0.0;
+    for (int r = 0; r < comm.Size(); ++r) {
+      const double* s = all.data() + static_cast<std::size_t>(r) * 4;
+      if (s[3] == 0.0) ok = 0;
+      if (s[0] == 0.0) continue;  // empty rank
+      if (have_prev && prev_last > s[1]) ok = 0;
+      prev_last = s[2];
+      have_prev = true;
+    }
+  }
+  rbc::Bcast(&ok, 1, rbc::Datatype::kByte, 0, comm);
+  return ok != 0;
+}
+
+Balance GlobalBalance(std::span<const double> local, const rbc::Comm& comm) {
+  const std::int64_t count = static_cast<std::int64_t>(local.size());
+  Balance b{count, count};
+  rbc::Reduce(&count, &b.min_count, 1, rbc::Datatype::kInt64,
+              rbc::ReduceOp::kMin, 0, comm);
+  rbc::Reduce(&count, &b.max_count, 1, rbc::Datatype::kInt64,
+              rbc::ReduceOp::kMax, 0, comm);
+  rbc::Bcast(&b.min_count, 1, rbc::Datatype::kInt64, 0, comm);
+  rbc::Bcast(&b.max_count, 1, rbc::Datatype::kInt64, 0, comm);
+  return b;
+}
+
+}  // namespace jsort

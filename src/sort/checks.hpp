@@ -1,0 +1,46 @@
+// Distributed verification of sorting results, used by the tests, the
+// examples and the benchmark harnesses:
+//  * global sortedness (locally sorted + boundary chain check),
+//  * permutation preservation (order-independent global fingerprint),
+//  * balance (min/max local element counts).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rbc/rbc.hpp"
+
+namespace jsort {
+
+/// Order-independent fingerprint of a distributed multiset of doubles.
+/// `hash_sum` is the wrapping sum of per-element mixed bit patterns:
+/// order-independent but duplicate-sensitive (an xor would cancel pairs).
+/// Equality intentionally ignores `sum`, which depends on floating-point
+/// accumulation order; it is kept for diagnostics only.
+struct Fingerprint {
+  std::int64_t count = 0;
+  std::uint64_t hash_sum = 0;
+  double sum = 0.0;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.count == b.count && a.hash_sum == b.hash_sum;
+  }
+};
+
+/// Computes the global fingerprint of `local` over all ranks of `comm`
+/// (collective; result valid on every rank).
+Fingerprint GlobalFingerprint(std::span<const double> local,
+                              const rbc::Comm& comm);
+
+/// True iff the concatenation of all local arrays by rank is sorted
+/// (collective; result valid on every rank). Empty local arrays allowed.
+bool IsGloballySorted(std::span<const double> local, const rbc::Comm& comm);
+
+/// Global minimum/maximum local element count (collective).
+struct Balance {
+  std::int64_t min_count = 0;
+  std::int64_t max_count = 0;
+};
+Balance GlobalBalance(std::span<const double> local, const rbc::Comm& comm);
+
+}  // namespace jsort

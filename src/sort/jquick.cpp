@@ -1,0 +1,556 @@
+#include "sort/jquick.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <thread>
+
+#include "sort/assignment.hpp"
+#include "sort/partition.hpp"
+#include "sort/quickselect.hpp"
+
+namespace jsort {
+namespace {
+
+// Exchange tags live in the user tag space. Each distributed level gets
+// its own pair of (small, large) tags: a fast process may start level k+1
+// while a neighbour still receives level-k data, so level-k and level-k+1
+// exchange messages must never share an envelope. The base-case pairwise
+// exchange has a single tag: distinct partners disambiguate.
+constexpr int kTagExchangeBase = 256;
+constexpr int kTagBasePair = 128;
+inline int ExchangeTag(int level, bool large) {
+  return kTagExchangeBase + 2 * level + (large ? 1 : 0);
+}
+
+enum class Phase {
+  kPivotBegin,
+  kPivotReduce,   // random-element policy: waiting on the pair reduce
+  kPivotGather,   // median policy: waiting on the sample gather
+  kPivotBcast,    // waiting on the pivot broadcast
+  kPartition,
+  kScanWait,
+  kTotalsWait,
+  kExchange,
+  kSplit,
+  kDone,
+};
+
+/// A finished per-rank slice of the output, positioned by its absolute
+/// slot offset in the globally sorted sequence.
+struct Slice {
+  std::int64_t key = 0;
+  std::vector<double> data;
+};
+
+struct Task {
+  std::shared_ptr<Transport> tr;
+  std::vector<double> data;      // elements this rank owns in the task
+  CapacityLayout layout;
+  std::int64_t global_off = 0;   // absolute slot of the task's first element
+  int level = 0;
+
+  Phase phase = Phase::kPivotBegin;
+  Poll poll;                     // pending nonblocking operation
+  bool cmp_le = false;           // comparator of the current partition
+  bool retried = false;          // degenerate-split retry performed
+
+  // Pivot selection state.
+  mpisim::PairDD cand{};
+  std::vector<double> my_samples;
+  std::vector<double> all_samples;  // root only
+  double pivot = 0.0;
+
+  // Partition / prefix-sum state.
+  std::vector<double> small, large;
+  std::int64_t counts[2] = {0, 0};
+  std::int64_t incl[2] = {0, 0};
+  std::int64_t totals[2] = {0, 0};
+
+  // Exchange state.
+  std::vector<double> recv_small, recv_large;
+  std::int64_t expect_small = 0, expect_large = 0;
+  bool sends_done = false;
+
+  int MyRank() const { return tr->Rank(); }
+  std::int64_t MyCap() const { return layout.CapOf(MyRank()); }
+  std::int64_t SliceKey() const {
+    return global_off + layout.PrefixBefore(MyRank());
+  }
+  int CollTag() const { return 2 * level + (retried ? 1 : 0); }
+};
+
+class Driver {
+ public:
+  Driver(std::shared_ptr<Transport> world, std::vector<double> local,
+         const JQuickConfig& cfg, JQuickStats* stats)
+      : cfg_(cfg), stats_(stats),
+        rng_(cfg.seed ^ (0x9E3779B97F4A7C15ull *
+                         (static_cast<std::uint64_t>(
+                              mpisim::Ctx().world_rank) +
+                          1))) {
+    const std::int64_t quota = static_cast<std::int64_t>(local.size());
+    auto root = std::make_unique<Task>();
+    root->tr = std::move(world);
+    root->data = std::move(local);
+    const int p = root->tr->Size();
+    root->layout = CapacityLayout{
+        .p = p,
+        .quota = quota,
+        .cap_first = quota,
+        .cap_last = quota,
+    };
+    if (p <= 2) {
+      base_.push_back(std::move(root));
+    } else {
+      active_.push_back(std::move(root));
+    }
+  }
+
+  std::vector<double> Run() {
+    DistributedPhase();
+    BaseCasePhase();
+    return Assemble();
+  }
+
+ private:
+  void DistributedPhase() {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          mpisim::Ctx().runtime->options().deadlock_timeout;
+    while (!active_.empty()) {
+      bool progressed = false;
+      for (std::size_t i = 0; i < active_.size();) {
+        progressed |= Step(*active_[i]);
+        if (active_[i]->phase == Phase::kDone) {
+          active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      if (!progressed) {
+        if (mpisim::Ctx().runtime->Aborted()) throw mpisim::AbortedError();
+        if (std::chrono::steady_clock::now() > deadline) {
+          throw mpisim::DeadlockError("JQuick: distributed phase stalled");
+        }
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Advances one task through as many phases as possible. Returns true if
+  /// any progress was made.
+  bool Step(Task& t) {
+    bool progressed = false;
+    for (;;) {
+      switch (t.phase) {
+        case Phase::kPivotBegin:
+          BeginPivot(t);
+          progressed = true;
+          continue;
+        case Phase::kPivotReduce:
+          if (!t.poll()) return progressed;
+          t.poll = t.tr->Ibcast(&t.cand, 1, Datatype::kPairDoubleDouble, 0,
+                                t.CollTag());
+          t.phase = Phase::kPivotBcast;
+          progressed = true;
+          continue;
+        case Phase::kPivotGather:
+          if (!t.poll()) return progressed;
+          if (t.MyRank() == 0) {
+            t.pivot = MedianOf(t.all_samples);
+          }
+          t.poll = t.tr->Ibcast(&t.pivot, 1, Datatype::kFloat64, 0,
+                                t.CollTag());
+          t.phase = Phase::kPivotBcast;
+          progressed = true;
+          continue;
+        case Phase::kPivotBcast:
+          if (!t.poll()) return progressed;
+          if (cfg_.pivot == PivotPolicy::kRandomElement) {
+            t.pivot = t.cand.second;
+          }
+          t.phase = Phase::kPartition;
+          progressed = true;
+          continue;
+        case Phase::kPartition: {
+          PartitionResult pr = Partition(t.data, t.pivot, t.cmp_le);
+          t.small = std::move(pr.small);
+          t.large = std::move(pr.large);
+          t.counts[0] = static_cast<std::int64_t>(t.small.size());
+          t.counts[1] = static_cast<std::int64_t>(t.large.size());
+          t.poll = t.tr->Iscan(t.counts, t.incl, 2, Datatype::kInt64,
+                               ReduceOp::kSum, t.CollTag());
+          t.phase = Phase::kScanWait;
+          progressed = true;
+          continue;
+        }
+        case Phase::kScanWait: {
+          if (!t.poll()) return progressed;
+          const int last = t.layout.p - 1;
+          if (t.MyRank() == last) {
+            t.totals[0] = t.incl[0];
+            t.totals[1] = t.incl[1];
+          }
+          t.poll = t.tr->Ibcast(t.totals, 2, Datatype::kInt64, last,
+                                t.CollTag());
+          t.phase = Phase::kTotalsWait;
+          progressed = true;
+          continue;
+        }
+        case Phase::kTotalsWait: {
+          if (!t.poll()) return progressed;
+          const std::int64_t total = t.layout.Total();
+          if (t.totals[0] + t.totals[1] != total) {
+            throw mpisim::Error("JQuick: internal: count totals mismatch");
+          }
+          const std::int64_t s = t.totals[0];
+          if (s == 0 || s == total) {
+            if (!t.retried) {
+              // Degenerate split: retry once with the flipped comparator
+              // (the duplicate-handling switch of [8]). If that is also
+              // degenerate, every element equals the pivot.
+              t.retried = true;
+              t.cmp_le = !t.cmp_le;
+              ReuniteData(t);
+              t.phase = Phase::kPartition;
+              progressed = true;
+              continue;
+            }
+            ReuniteData(t);  // all elements equal: already sorted & balanced
+            EmitSlice(t.SliceKey(), std::move(t.data));
+            t.phase = Phase::kDone;
+            return true;
+          }
+          t.phase = Phase::kExchange;
+          StartExchange(t);
+          progressed = true;
+          continue;
+        }
+        case Phase::kExchange:
+          if (!ProgressExchange(t)) return progressed;
+          t.phase = Phase::kSplit;
+          progressed = true;
+          continue;
+        case Phase::kSplit:
+          SplitTask(t);
+          t.phase = Phase::kDone;
+          return true;
+        case Phase::kDone:
+          return progressed;
+      }
+    }
+  }
+
+  void BeginPivot(Task& t) {
+    if (cfg_.pivot == PivotPolicy::kRandomElement) {
+      t.cand = ReservoirCandidate(t.data, rng_);
+      t.poll = t.tr->Ireduce(&t.cand, &t.cand, 1,
+                             Datatype::kPairDoubleDouble,
+                             ReduceOp::kMaxPairFirst, 0, t.CollTag());
+      t.phase = Phase::kPivotReduce;
+      return;
+    }
+    // Median-of-samples: every rank contributes the same number of local
+    // samples (with replacement); the root takes the median.
+    const int p = t.layout.p;
+    const int total =
+        cfg_.samples.TotalSamples(p, t.layout.quota);
+    const int per_rank = std::max(1, (total + p - 1) / p);
+    t.my_samples.resize(static_cast<std::size_t>(per_rank));
+    DrawSamples(t.data, per_rank, t.my_samples.data(), rng_);
+    if (t.MyRank() == 0) {
+      t.all_samples.resize(static_cast<std::size_t>(per_rank) * p);
+    }
+    t.poll = t.tr->Igather(t.my_samples.data(), per_rank, Datatype::kFloat64,
+                           t.all_samples.data(), 0, t.CollTag());
+    t.phase = Phase::kPivotGather;
+  }
+
+  /// Restores t.data = small ++ large (order irrelevant for sorting).
+  static void ReuniteData(Task& t) {
+    t.data = std::move(t.small);
+    t.data.insert(t.data.end(), t.large.begin(), t.large.end());
+    t.small.clear();
+    t.large.clear();
+  }
+
+  void StartExchange(Task& t) {
+    const std::int64_t s_excl = t.incl[0] - t.counts[0];
+    const std::int64_t l_excl = t.incl[1] - t.counts[1];
+    const std::int64_t s_total = t.totals[0];
+    t.expect_small = OverlapWithRegion(t.layout, t.MyRank(), 0, s_total);
+    t.expect_large =
+        OverlapWithRegion(t.layout, t.MyRank(), s_total, t.layout.Total());
+    t.recv_small.reserve(static_cast<std::size_t>(t.expect_small));
+    t.recv_large.reserve(static_cast<std::size_t>(t.expect_large));
+
+    SendSide(t, t.small, s_excl, /*region_off=*/0, /*large=*/false);
+    SendSide(t, t.large, s_total + l_excl, s_total, /*large=*/true);
+    t.small.clear();
+    t.small.shrink_to_fit();
+    t.large.clear();
+    t.large.shrink_to_fit();
+    t.data.clear();
+    t.data.shrink_to_fit();
+    t.sends_done = true;
+  }
+
+  /// Sends one side's elements, whose slot interval starts at slot_begin,
+  /// chunk by chunk (greedy assignment). Self-chunks bypass the transport.
+  void SendSide(Task& t, const std::vector<double>& elems,
+                std::int64_t slot_begin, std::int64_t region_off,
+                bool large) {
+    (void)region_off;
+    if (elems.empty()) return;
+    const auto chunks = AssignChunks(
+        t.layout, slot_begin,
+        slot_begin + static_cast<std::int64_t>(elems.size()));
+    std::size_t cursor = 0;
+    for (const Chunk& c : chunks) {
+      auto& sink = large ? t.recv_large : t.recv_small;
+      if (c.target == t.MyRank()) {
+        sink.insert(sink.end(), elems.begin() + static_cast<std::ptrdiff_t>(cursor),
+                    elems.begin() + static_cast<std::ptrdiff_t>(cursor + c.count));
+      } else {
+        t.tr->Send(elems.data() + cursor, static_cast<int>(c.count),
+                   Datatype::kFloat64, c.target, ExchangeTag(t.level, large));
+        if (stats_ != nullptr) {
+          stats_->messages_sent += 1;
+          stats_->elements_sent += c.count;
+        }
+      }
+      cursor += static_cast<std::size_t>(c.count);
+    }
+  }
+
+  /// Drains incoming exchange messages; true once both sides are full.
+  bool ProgressExchange(Task& t) {
+    bool more = true;
+    while (more) {
+      more = false;
+      more |= DrainSide(t, t.recv_small, t.expect_small, /*large=*/false);
+      more |= DrainSide(t, t.recv_large, t.expect_large, /*large=*/true);
+    }
+    return static_cast<std::int64_t>(t.recv_small.size()) == t.expect_small &&
+           static_cast<std::int64_t>(t.recv_large.size()) == t.expect_large;
+  }
+
+  bool DrainSide(Task& t, std::vector<double>& sink, std::int64_t expect,
+                 bool large) {
+    if (static_cast<std::int64_t>(sink.size()) >= expect) return false;
+    Status st;
+    if (!t.tr->IprobeAny(ExchangeTag(t.level, large), &st)) return false;
+    const int count = st.Count(Datatype::kFloat64);
+    const std::size_t old = sink.size();
+    sink.resize(old + static_cast<std::size_t>(count));
+    t.tr->Recv(sink.data() + old, count, Datatype::kFloat64, st.source,
+               ExchangeTag(t.level, large));
+    return true;
+  }
+
+  void SplitTask(Task& t) {
+    const std::int64_t s = t.totals[0];
+    const int p = t.layout.p;
+    const int rank = t.MyRank();
+    const int left_last = t.layout.RankOfSlot(s - 1);
+    const int right_first = t.layout.RankOfSlot(s);
+    const bool in_left = t.layout.PrefixBefore(rank) < s;
+    const bool in_right = t.layout.PrefixBefore(rank) + t.MyCap() > s;
+    const bool janus = in_left && in_right;
+    if (janus && stats_ != nullptr) stats_->janus_episodes += 1;
+
+    CapacityLayout left_layout{
+        .p = left_last + 1,
+        .quota = t.layout.quota,
+        .cap_first =
+            left_last == 0 ? s : t.layout.cap_first,
+        .cap_last = s - t.layout.PrefixBefore(left_last),
+    };
+    if (left_layout.p == 1) left_layout.cap_last = left_layout.cap_first;
+    CapacityLayout right_layout{
+        .p = p - right_first,
+        .quota = t.layout.quota,
+        .cap_first = t.layout.PrefixBefore(right_first) +
+                     t.layout.CapOf(right_first) - s,
+        .cap_last = right_first == p - 1
+                        ? t.layout.PrefixBefore(right_first) +
+                              t.layout.CapOf(right_first) - s
+                        : t.layout.cap_last,
+    };
+
+    // Split schedule (Section VIII-C): a janus orders its two collective
+    // group creations; alternating parity bounds creation cascades.
+    bool left_first = true;
+    if (janus && cfg_.schedule == SplitSchedule::kAlternating) {
+      left_first = (rank % 2) == 0;
+    }
+
+    std::shared_ptr<Transport> left_tr, right_tr;
+    auto make_left = [&] {
+      if (in_left) left_tr = t.tr->Split(0, left_last);
+    };
+    auto make_right = [&] {
+      if (in_right) right_tr = t.tr->Split(right_first, p - 1);
+    };
+    if (left_first) {
+      make_left();
+      make_right();
+    } else {
+      make_right();
+      make_left();
+    }
+
+    if (in_left) {
+      Enqueue(MakeChild(t, std::move(left_tr), std::move(t.recv_small),
+                        left_layout, t.global_off));
+    }
+    if (in_right) {
+      Enqueue(MakeChild(t, std::move(right_tr), std::move(t.recv_large),
+                        right_layout, t.global_off + s));
+    }
+  }
+
+  std::unique_ptr<Task> MakeChild(Task& parent, std::shared_ptr<Transport> tr,
+                                  std::vector<double> data,
+                                  const CapacityLayout& layout,
+                                  std::int64_t global_off) {
+    auto child = std::make_unique<Task>();
+    child->tr = std::move(tr);
+    child->data = std::move(data);
+    child->layout = layout;
+    child->global_off = global_off;
+    child->level = parent.level + 1;
+    child->cmp_le = ((child->level % 2) == 1);
+    if (static_cast<std::int64_t>(child->data.size()) != child->MyCap()) {
+      throw mpisim::Error("JQuick: internal: perfect balance violated");
+    }
+    if (stats_ != nullptr) {
+      stats_->distributed_levels =
+          std::max(stats_->distributed_levels, child->level);
+    }
+    return child;
+  }
+
+  void Enqueue(std::unique_ptr<Task> task) {
+    if (task->layout.p <= 2) {
+      base_.push_back(std::move(task));
+    } else {
+      active_.push_back(std::move(task));
+    }
+  }
+
+  /// Second phase (Section VII): base cases, deferred so a janus never
+  /// delays a larger subtask. All sends go out first (eager), then the
+  /// receives are drained, so a process in two base cases cannot block its
+  /// partners.
+  void BaseCasePhase() {
+    for (auto& t : base_) {
+      if (t->layout.p == 2) {
+        t->tr->Send(t->data.data(), static_cast<int>(t->data.size()),
+                    Datatype::kFloat64, 1 - t->MyRank(), kTagBasePair);
+        if (stats_ != nullptr) {
+          stats_->messages_sent += 1;
+          stats_->elements_sent += static_cast<std::int64_t>(t->data.size());
+        }
+      }
+    }
+    for (auto& t : base_) {
+      if (t->layout.p == 1) {
+        if (stats_ != nullptr) stats_->base_tasks_1p += 1;
+        std::sort(t->data.begin(), t->data.end());
+        EmitSlice(t->SliceKey(), std::move(t->data));
+        continue;
+      }
+      if (stats_ != nullptr) stats_->base_tasks_2p += 1;
+      const int partner = 1 - t->MyRank();
+      const std::int64_t partner_cap = t->layout.CapOf(partner);
+      std::vector<double> merged = std::move(t->data);
+      const std::size_t mine = merged.size();
+      merged.resize(mine + static_cast<std::size_t>(partner_cap));
+      t->tr->Recv(merged.data() + mine, static_cast<int>(partner_cap),
+                  Datatype::kFloat64, partner, kTagBasePair);
+      // Quickselect my share: rank 0 keeps the smallest cap_first
+      // elements, rank 1 keeps the rest (Section VII).
+      const std::int64_t k = t->layout.cap_first;
+      QuickselectSmallest(merged, static_cast<std::size_t>(k),
+                          cfg_.seed ^ 0xB5297A4Du);
+      std::vector<double> kept;
+      if (t->MyRank() == 0) {
+        kept.assign(merged.begin(), merged.begin() + static_cast<std::ptrdiff_t>(k));
+      } else {
+        kept.assign(merged.begin() + static_cast<std::ptrdiff_t>(k), merged.end());
+      }
+      std::sort(kept.begin(), kept.end());
+      EmitSlice(t->SliceKey(), std::move(kept));
+    }
+    base_.clear();
+  }
+
+  void EmitSlice(std::int64_t key, std::vector<double> data) {
+    slices_.push_back(Slice{key, std::move(data)});
+  }
+
+  std::vector<double> Assemble() {
+    std::sort(slices_.begin(), slices_.end(),
+              [](const Slice& a, const Slice& b) { return a.key < b.key; });
+    std::vector<double> out;
+    for (Slice& s : slices_) {
+      out.insert(out.end(), s.data.begin(), s.data.end());
+    }
+    return out;
+  }
+
+  JQuickConfig cfg_;
+  JQuickStats* stats_;
+  std::mt19937_64 rng_;
+  std::vector<std::unique_ptr<Task>> active_;
+  std::vector<std::unique_ptr<Task>> base_;
+  std::vector<Slice> slices_;
+};
+
+}  // namespace
+
+std::vector<double> JQuickSort(const std::shared_ptr<Transport>& world,
+                               std::vector<double> local,
+                               const JQuickConfig& cfg, JQuickStats* stats) {
+  if (world == nullptr) throw mpisim::UsageError("JQuickSort: null transport");
+  if (stats != nullptr) *stats = JQuickStats{};
+  const std::size_t quota = local.size();
+  Driver driver(world, std::move(local), cfg, stats);
+  std::vector<double> out = driver.Run();
+  if (out.size() != quota) {
+    throw mpisim::Error("JQuick: internal: output size != quota");
+  }
+  return out;
+}
+
+std::vector<double> JQuickSortPadded(const std::shared_ptr<Transport>& world,
+                                     std::vector<double> local,
+                                     const JQuickConfig& cfg,
+                                     JQuickStats* stats) {
+  if (world == nullptr) throw mpisim::UsageError("JQuickSort: null transport");
+  // Agree on the padded quota: the maximum local size over all ranks.
+  std::int64_t mine = static_cast<std::int64_t>(local.size());
+  std::int64_t quota = 0;
+  {
+    // Reduce+bcast via the transport's nonblocking primitives.
+    Poll r = world->Ireduce(&mine, &quota, 1, Datatype::kInt64,
+                            ReduceOp::kMax, 0, /*tag=*/96);
+    while (!r()) std::this_thread::yield();
+    Poll b = world->Ibcast(&quota, 1, Datatype::kInt64, 0, /*tag=*/97);
+    while (!b()) std::this_thread::yield();
+  }
+  local.resize(static_cast<std::size_t>(quota),
+               std::numeric_limits<double>::infinity());
+  std::vector<double> out = JQuickSort(world, std::move(local), cfg, stats);
+  while (!out.empty() &&
+         out.back() == std::numeric_limits<double>::infinity()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace jsort

@@ -1,0 +1,72 @@
+// Janus Quicksort (JQuick) -- Section VII of the paper.
+//
+// A recursive distributed quicksort with *perfect data balance*: after
+// every level each process stores exactly its quota of n/p elements. Task
+// splits generally do not align with process boundaries; the straddling
+// process -- the janus process -- belongs to both subgroups and advances
+// both subtasks simultaneously, which is only possible because every
+// communication operation is nonblocking and every group split is cheap.
+//
+// One distributed level = pivot selection, local partition, exclusive
+// prefix sums over the (small, large) counts, greedy capacity-filling data
+// assignment, and a nonblocking data exchange. Tasks covering <= 2
+// processes become base cases, deferred to a second phase so a janus never
+// delays a larger subtask (Section VII); the two-process base case
+// exchanges data and quickselects each partner's share.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sort/sampling.hpp"
+#include "sort/transport.hpp"
+
+namespace jsort {
+
+/// Ordering of a janus process's two group splits (Section VIII-C).
+/// kAlternating bounds creation cascades (every other janus creates the
+/// left group first); kCascaded always creates left first, provoking the
+/// chains measured in Figure 6 / discussed for Figure 8.
+enum class SplitSchedule {
+  kAlternating,
+  kCascaded,
+};
+
+struct JQuickConfig {
+  PivotPolicy pivot = PivotPolicy::kMedianOfSamples;
+  SampleParams samples{};
+  SplitSchedule schedule = SplitSchedule::kAlternating;
+  std::uint64_t seed = 1;
+};
+
+/// Statistics of one JQuick run (per calling rank).
+struct JQuickStats {
+  int distributed_levels = 0;   // deepest level observed locally
+  int janus_episodes = 0;       // times this rank was a janus process
+  int base_tasks_1p = 0;
+  int base_tasks_2p = 0;
+  std::int64_t elements_sent = 0;
+  std::int64_t messages_sent = 0;
+};
+
+/// Sorts the global data distributed over the transport's group.
+/// `local.size()` must be the same on every rank (the paper's n = p * (n/p)
+/// assumption; use JQuickSortPadded for arbitrary n). Returns this rank's
+/// slice of the globally sorted sequence -- exactly local.size() elements:
+/// perfect balance. If `stats` is non-null it receives run statistics.
+std::vector<double> JQuickSort(const std::shared_ptr<Transport>& world,
+                               std::vector<double> local,
+                               const JQuickConfig& cfg = {},
+                               JQuickStats* stats = nullptr);
+
+/// Arbitrary-n front end: pads with +infinity sentinels to the next
+/// multiple of p, sorts, and strips the sentinels (they all land on the
+/// highest ranks). Per-rank input sizes may differ by any amount; the
+/// output holds between quota-<pad> and quota elements per rank.
+std::vector<double> JQuickSortPadded(const std::shared_ptr<Transport>& world,
+                                     std::vector<double> local,
+                                     const JQuickConfig& cfg = {},
+                                     JQuickStats* stats = nullptr);
+
+}  // namespace jsort

@@ -1,0 +1,14 @@
+// Umbrella header for the sorting applications.
+#pragma once
+
+#include "sort/assignment.hpp"
+#include "sort/checks.hpp"
+#include "sort/hypercube_qs.hpp"
+#include "sort/jquick.hpp"
+#include "sort/partition.hpp"
+#include "sort/quickselect.hpp"
+#include "sort/multilevel_sort.hpp"
+#include "sort/sample_sort.hpp"
+#include "sort/sampling.hpp"
+#include "sort/transport.hpp"
+#include "sort/workload.hpp"

@@ -1,0 +1,144 @@
+#include "sort/multilevel_sort.hpp"
+
+#include <algorithm>
+#include <random>
+#include <thread>
+
+#include "sort/sampling.hpp"
+
+namespace jsort {
+namespace {
+
+constexpr int kTagSplitter = 2048;
+constexpr int kTagPieceBase = 2080;  // + level
+
+void WaitPoll(Poll& p) {
+  while (!p()) std::this_thread::yield();
+}
+
+/// Near-equal partition of p ranks into k groups: group g covers
+/// [Begin(g), Begin(g+1)) with the first p%k groups one rank larger.
+struct GroupLayout {
+  int p = 1;
+  int k = 1;
+
+  int Begin(int g) const {
+    const int base = p / k;
+    const int extra = p % k;
+    return g * base + std::min(g, extra);
+  }
+  int SizeOfGroup(int g) const { return Begin(g + 1) - Begin(g); }
+  int GroupOfRank(int r) const {
+    // Inverse of Begin; k is tiny, linear scan is fine.
+    for (int g = 0; g < k; ++g) {
+      if (r < Begin(g + 1)) return g;
+    }
+    return k - 1;
+  }
+};
+
+}  // namespace
+
+std::vector<double> MultilevelSampleSort(
+    const std::shared_ptr<Transport>& world, std::vector<double> local,
+    const MultilevelConfig& cfg, MultilevelStats* stats) {
+  if (world == nullptr) {
+    throw mpisim::UsageError("MultilevelSampleSort: null transport");
+  }
+  if (cfg.k < 2) {
+    throw mpisim::UsageError("MultilevelSampleSort: k must be >= 2");
+  }
+  if (stats != nullptr) *stats = MultilevelStats{};
+  std::mt19937_64 rng(cfg.seed ^
+                      (0x9E3779B97F4A7C15ull *
+                       (static_cast<std::uint64_t>(mpisim::Ctx().world_rank) +
+                        1)));
+
+  std::shared_ptr<Transport> tr = world;
+  int level = 0;
+  while (tr->Size() > 1) {
+    const int p = tr->Size();
+    const int rank = tr->Rank();
+    const int k = std::min(cfg.k, p);
+    const GroupLayout groups{p, k};
+
+    // 1) Splitter selection: sample, gather, pick k-1 equidistant, bcast.
+    const int per_rank = std::max(1, cfg.oversample);
+    std::vector<double> mine(static_cast<std::size_t>(per_rank));
+    DrawSamples(local, per_rank, mine.data(), rng);
+    std::vector<double> all;
+    if (rank == 0) all.resize(static_cast<std::size_t>(per_rank) * p);
+    Poll g = tr->Igather(mine.data(), per_rank, Datatype::kFloat64,
+                         all.data(), 0, kTagSplitter + level);
+    WaitPoll(g);
+    std::vector<double> splitters(static_cast<std::size_t>(k - 1));
+    if (rank == 0) {
+      std::sort(all.begin(), all.end());
+      for (int i = 1; i < k; ++i) {
+        splitters[static_cast<std::size_t>(i - 1)] =
+            all[static_cast<std::size_t>(i) * all.size() / k];
+      }
+    }
+    Poll b = tr->Ibcast(splitters.data(), k - 1, Datatype::kFloat64, 0,
+                        kTagSplitter + level);
+    WaitPoll(b);
+
+    // 2) Partition into k pieces by binary search over the splitters.
+    std::vector<std::vector<double>> pieces(static_cast<std::size_t>(k));
+    for (double x : local) {
+      const auto it =
+          std::upper_bound(splitters.begin(), splitters.end(), x);
+      pieces[static_cast<std::size_t>(it - splitters.begin())].push_back(x);
+    }
+    local.clear();
+    local.shrink_to_fit();
+
+    // 3) Route piece g to one member of group g (sender r picks member
+    //    r % |group g|, spreading senders evenly). Every rank can compute
+    //    how many messages it expects: senders mapped onto it.
+    const int my_group = groups.GroupOfRank(rank);
+    const int my_index = rank - groups.Begin(my_group);
+    const int my_group_size = groups.SizeOfGroup(my_group);
+    // Senders r with r % my_group_size == my_index.
+    int expected = 0;
+    for (int r = 0; r < p; ++r) {
+      if (r % my_group_size == my_index) ++expected;
+    }
+
+    const int tag = kTagPieceBase + level;
+    for (int piece = 0; piece < k; ++piece) {
+      const int gs = groups.SizeOfGroup(piece);
+      const int member = groups.Begin(piece) + rank % gs;
+      const auto& data = pieces[static_cast<std::size_t>(piece)];
+      tr->Send(data.data(), static_cast<int>(data.size()),
+               Datatype::kFloat64, member, tag);
+      if (stats != nullptr) ++stats->messages_sent;
+    }
+    std::vector<double> received;
+    for (int got = 0; got < expected; ++got) {
+      Status st;
+      bool found = false;
+      while (!found) {
+        found = tr->IprobeAny(tag, &st);
+        if (!found) std::this_thread::yield();
+      }
+      const int n = st.Count(Datatype::kFloat64);
+      const std::size_t old = received.size();
+      received.resize(old + static_cast<std::size_t>(n));
+      tr->Recv(received.data() + old, n, Datatype::kFloat64, st.source, tag);
+    }
+    local = std::move(received);
+
+    // 4) Recurse within my group (O(1) local split with RBC).
+    tr = tr->Split(groups.Begin(my_group), groups.Begin(my_group + 1) - 1);
+    ++level;
+  }
+  std::sort(local.begin(), local.end());
+  if (stats != nullptr) {
+    stats->levels = level;
+    stats->final_elements = static_cast<std::int64_t>(local.size());
+  }
+  return local;
+}
+
+}  // namespace jsort

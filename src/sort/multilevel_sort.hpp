@@ -1,0 +1,40 @@
+// Multi-level sample sort (Section IV, citing Gerbessiotis & Valiant):
+// the compromise between single-level sample sort (one data exchange,
+// p-1 startups) and hypercube-style recursion (log p exchanges, O(1)
+// startups each): agree on k-1 pivots, partition local data into k
+// pieces, route piece i to process group i, and recurse within each group.
+//
+// Group splits use the transport (O(1) local with RBC), so the recursion
+// does not pay communicator-construction costs -- the enabling property
+// this paper contributes. Output slices are approximately balanced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sort/transport.hpp"
+
+namespace jsort {
+
+struct MultilevelConfig {
+  /// Branching factor: pieces / process groups per level.
+  int k = 4;
+  /// Samples contributed per rank per splitter selection.
+  int oversample = 8;
+  std::uint64_t seed = 1;
+};
+
+struct MultilevelStats {
+  int levels = 0;
+  std::int64_t messages_sent = 0;
+  std::int64_t final_elements = 0;
+};
+
+/// Sorts the global data over the transport's group; works for any group
+/// size and any k >= 2.
+std::vector<double> MultilevelSampleSort(
+    const std::shared_ptr<Transport>& world, std::vector<double> local,
+    const MultilevelConfig& cfg = {}, MultilevelStats* stats = nullptr);
+
+}  // namespace jsort

@@ -1,0 +1,35 @@
+#include "sort/partition.hpp"
+
+#include <algorithm>
+
+namespace jsort {
+
+PartitionResult Partition(std::span<const double> data, double pivot,
+                          bool less_equal) {
+  PartitionResult r;
+  r.small.reserve(data.size());
+  r.large.reserve(data.size());
+  if (less_equal) {
+    for (double x : data) {
+      (x <= pivot ? r.small : r.large).push_back(x);
+    }
+  } else {
+    for (double x : data) {
+      (x < pivot ? r.small : r.large).push_back(x);
+    }
+  }
+  return r;
+}
+
+std::size_t PartitionInPlace(std::span<double> data, double pivot,
+                             bool less_equal) {
+  auto mid =
+      less_equal
+          ? std::partition(data.begin(), data.end(),
+                           [pivot](double x) { return x <= pivot; })
+          : std::partition(data.begin(), data.end(),
+                           [pivot](double x) { return x < pivot; });
+  return static_cast<std::size_t>(mid - data.begin());
+}
+
+}  // namespace jsort

@@ -1,0 +1,32 @@
+// Local two-way partitioning with duplicate handling.
+//
+// JQuick handles duplicate keys by "carefully switching between the
+// compare functions '<' and '<='" (Section VIII-A, citing [8]): on
+// alternating recursion levels, elements equal to the pivot are counted as
+// small or as large, which splits runs of duplicates across both sides.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace jsort {
+
+/// Result of a two-way partition: elements routed left/right of the pivot.
+struct PartitionResult {
+  std::vector<double> small;
+  std::vector<double> large;
+};
+
+/// Partitions `data` by `pivot`. With less_equal == false, small =
+/// {x | x < pivot}; with less_equal == true, small = {x | x <= pivot}.
+/// Stable within each side (irrelevant for sorting, convenient for tests).
+PartitionResult Partition(std::span<const double> data, double pivot,
+                          bool less_equal);
+
+/// In-place variant: reorders `data` so the small side occupies the prefix
+/// and returns its length.
+std::size_t PartitionInPlace(std::span<double> data, double pivot,
+                             bool less_equal);
+
+}  // namespace jsort

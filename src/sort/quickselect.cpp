@@ -1,0 +1,45 @@
+#include "sort/quickselect.hpp"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+
+namespace jsort {
+
+void QuickselectSmallest(std::span<double> data, std::size_t k,
+                         std::uint64_t seed) {
+  if (k == 0 || k >= data.size()) return;
+  std::mt19937_64 rng(seed);
+  std::size_t lo = 0;
+  std::size_t hi = data.size();  // select within [lo, hi)
+  std::size_t want = k;          // absolute index boundary
+  while (hi - lo > 1) {
+    const std::size_t pi =
+        lo + std::uniform_int_distribution<std::size_t>(0, hi - lo - 1)(rng);
+    const double pivot = data[pi];
+    // Three-way partition of [lo, hi) around pivot to guarantee progress
+    // on duplicate-heavy inputs.
+    std::size_t lt = lo;
+    std::size_t i = lo;
+    std::size_t gt = hi;
+    while (i < gt) {
+      if (data[i] < pivot) {
+        std::swap(data[lt++], data[i++]);
+      } else if (data[i] > pivot) {
+        std::swap(data[i], data[--gt]);
+      } else {
+        ++i;
+      }
+    }
+    // [lo, lt): < pivot, [lt, gt): == pivot, [gt, hi): > pivot.
+    if (want <= lt) {
+      hi = lt;
+    } else if (want >= gt) {
+      lo = gt;
+    } else {
+      return;  // the boundary falls inside the run of pivot duplicates
+    }
+  }
+}
+
+}  // namespace jsort

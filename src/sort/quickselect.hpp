@@ -1,0 +1,18 @@
+// Quickselect, used by the two-process base case of JQuick (Section VII):
+// after the pairwise data exchange, each partner selects the k elements
+// that belong to its side of the boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace jsort {
+
+/// Reorders `data` so its first k elements are the k smallest (in
+/// arbitrary order) and the remaining elements are all >= them. Randomized
+/// quickselect with expected O(n) time; k may be 0 or data.size().
+void QuickselectSmallest(std::span<double> data, std::size_t k,
+                         std::uint64_t seed = 0x9E3779B9u);
+
+}  // namespace jsort

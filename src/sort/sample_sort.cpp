@@ -1,0 +1,109 @@
+#include "sort/sample_sort.hpp"
+
+#include <algorithm>
+#include <random>
+#include <thread>
+
+#include "sort/sampling.hpp"
+
+namespace jsort {
+namespace {
+
+constexpr int kTagBucket = 1024;
+constexpr int kTagSplitter = 1025;
+
+void WaitPoll(Poll& p) {
+  while (!p()) std::this_thread::yield();
+}
+
+}  // namespace
+
+std::vector<double> SampleSort(const std::shared_ptr<Transport>& world,
+                               std::vector<double> local,
+                               const SampleSortConfig& cfg,
+                               SampleSortStats* stats) {
+  if (world == nullptr) throw mpisim::UsageError("SampleSort: null transport");
+  if (stats != nullptr) *stats = SampleSortStats{};
+  Transport& tr = *world;
+  const int p = tr.Size();
+  const int rank = tr.Rank();
+  if (p == 1) {
+    std::sort(local.begin(), local.end());
+    if (stats != nullptr) {
+      stats->final_elements = static_cast<std::int64_t>(local.size());
+    }
+    return local;
+  }
+  std::mt19937_64 rng(cfg.seed ^
+                      (0x9E3779B97F4A7C15ull *
+                       (static_cast<std::uint64_t>(mpisim::Ctx().world_rank) +
+                        1)));
+
+  // 1) Splitter selection: every rank contributes oversample*(p-1)/p + 1
+  //    samples; the root sorts the sample and picks p-1 equidistant
+  //    splitters.
+  const int per_rank = std::max(1, cfg.oversample);
+  std::vector<double> mine(static_cast<std::size_t>(per_rank));
+  DrawSamples(local, per_rank, mine.data(), rng);
+  std::vector<double> all;
+  if (rank == 0) all.resize(static_cast<std::size_t>(per_rank) * p);
+  Poll g = tr.Igather(mine.data(), per_rank, Datatype::kFloat64, all.data(),
+                      0, kTagSplitter);
+  WaitPoll(g);
+  std::vector<double> splitters(static_cast<std::size_t>(p - 1));
+  if (rank == 0) {
+    std::sort(all.begin(), all.end());
+    for (int i = 1; i < p; ++i) {
+      splitters[static_cast<std::size_t>(i - 1)] =
+          all[static_cast<std::size_t>(i) * all.size() / p];
+    }
+  }
+  Poll b = tr.Ibcast(splitters.data(), p - 1, Datatype::kFloat64, 0,
+                     kTagSplitter);
+  WaitPoll(b);
+
+  // 2) Local partition into p buckets by binary search over the splitters.
+  std::vector<std::vector<double>> buckets(static_cast<std::size_t>(p));
+  for (double x : local) {
+    const auto it =
+        std::upper_bound(splitters.begin(), splitters.end(), x);
+    buckets[static_cast<std::size_t>(it - splitters.begin())].push_back(x);
+  }
+  local.clear();
+  local.shrink_to_fit();
+
+  // 3) All-to-all: bucket i to rank i. Empty buckets are sent too, so every
+  //    rank receives exactly p-1 messages -- the p-1 startups of Section IV.
+  std::vector<double> out = std::move(buckets[static_cast<std::size_t>(rank)]);
+  for (int off = 1; off < p; ++off) {
+    const int dest = (rank + off) % p;
+    const auto& bkt = buckets[static_cast<std::size_t>(dest)];
+    tr.Send(bkt.data(), static_cast<int>(bkt.size()), Datatype::kFloat64,
+            dest, kTagBucket);
+    if (stats != nullptr) stats->messages_sent += 1;
+  }
+  for (int off = 1; off < p; ++off) {
+    const int src = (rank - off + p) % p;
+    Status st;
+    bool found = false;
+    while (!found) {
+      found = tr.IprobeAny(kTagBucket, &st);
+      if (!found) std::this_thread::yield();
+    }
+    const int incoming = st.Count(Datatype::kFloat64);
+    const std::size_t old = out.size();
+    out.resize(old + static_cast<std::size_t>(incoming));
+    tr.Recv(out.data() + old, incoming, Datatype::kFloat64, st.source,
+            kTagBucket);
+    (void)src;
+  }
+
+  // 4) Local sort of the received bucket.
+  std::sort(out.begin(), out.end());
+  if (stats != nullptr) {
+    stats->final_elements = static_cast<std::int64_t>(out.size());
+  }
+  return out;
+}
+
+}  // namespace jsort

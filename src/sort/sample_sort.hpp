@@ -1,0 +1,36 @@
+// Single-level sample sort (Blelloch et al. [15]) -- the "move the data
+// once" end of the design space discussed in Section IV: p-1 splitters are
+// chosen from a sample, every process partitions its data into p buckets
+// and sends bucket i to process i in one all-to-all, then sorts locally.
+// Efficient only for n = Omega(p^2 / log p); the p-1 message startups per
+// process are the cost JQuick's O(log p) levels avoid for small n/p.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sort/transport.hpp"
+
+namespace jsort {
+
+struct SampleSortConfig {
+  /// Oversampling factor: each rank contributes `oversample` samples per
+  /// splitter, improving balance.
+  int oversample = 8;
+  std::uint64_t seed = 1;
+};
+
+struct SampleSortStats {
+  std::int64_t final_elements = 0;
+  std::int64_t messages_sent = 0;
+};
+
+/// Sorts the global data over the transport's group. Output slices are
+/// approximately balanced (within the sampling guarantee), not perfectly.
+std::vector<double> SampleSort(const std::shared_ptr<Transport>& world,
+                               std::vector<double> local,
+                               const SampleSortConfig& cfg = {},
+                               SampleSortStats* stats = nullptr);
+
+}  // namespace jsort

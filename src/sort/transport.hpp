@@ -1,0 +1,79 @@
+// Group transport abstraction for the sorting algorithms.
+//
+// JQuick needs, per task group: nonblocking collectives, tagged
+// point-to-point traffic with wildcard probes, and -- the axis of the
+// paper's Figure 8 -- a way to split the group:
+//  * RbcTransport     splits are rbc::Split_RBC_Comm -- local, O(1), no
+//                     communication.
+//  * MpiTransport     splits are blocking MPI_Comm_create_group calls with
+//                     context-mask agreement and O(group) construction --
+//                     the "native MPI" baseline of Figure 8.
+//  * IcommTransport   splits are the Section-VI MPI_Icomm_create_group:
+//                     local and O(1) for contiguous ranges, but with full
+//                     MPI context isolation (an ablation beyond the paper's
+//                     measured configurations).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mpisim/mpisim.hpp"
+#include "rbc/rbc.hpp"
+
+namespace jsort {
+
+/// Completion poll of a nonblocking operation: returns true once done;
+/// repeated calls after completion remain true and cheap.
+using Poll = std::function<bool()>;
+
+using Datatype = mpisim::Datatype;
+using ReduceOp = mpisim::ReduceOp;
+using Status = mpisim::Status;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Rank of the caller within this group (always a member).
+  virtual int Rank() const = 0;
+  virtual int Size() const = 0;
+
+  // Nonblocking collectives. `tag` disambiguates simultaneous operations
+  // for transports without private contexts (RBC); context-isolated
+  // transports may ignore it.
+  virtual Poll Ibcast(void* buf, int count, Datatype dt, int root,
+                      int tag) = 0;
+  virtual Poll Iscan(const void* send, void* recv, int count, Datatype dt,
+                     ReduceOp op, int tag) = 0;
+  virtual Poll Ireduce(const void* send, void* recv, int count, Datatype dt,
+                       ReduceOp op, int root, int tag) = 0;
+  virtual Poll Igather(const void* send, int count, Datatype dt, void* recv,
+                       int root, int tag) = 0;
+
+  // Point-to-point. Send is eager (completes locally); IprobeAny reports
+  // only messages whose source belongs to this group.
+  virtual void Send(const void* buf, int count, Datatype dt, int dest,
+                    int tag) = 0;
+  virtual bool IprobeAny(int tag, Status* st) = 0;
+  virtual void Recv(void* buf, int count, Datatype dt, int src, int tag,
+                    Status* st = nullptr) = 0;
+
+  /// Creates the sub-group of ranks first..last. Collective over the
+  /// subgroup members for MpiTransport (blocking) -- the caller must be a
+  /// member. Local for RbcTransport/IcommTransport.
+  virtual std::shared_ptr<Transport> Split(int first, int last) = 0;
+
+  /// Human-readable backend name for benchmark output.
+  virtual const char* Name() const = 0;
+};
+
+/// RBC-backed transport over an existing RBC communicator.
+std::shared_ptr<Transport> MakeRbcTransport(rbc::Comm comm);
+
+/// Native-MPI-backed transport (blocking MPI_Comm_create_group splits).
+std::shared_ptr<Transport> MakeMpiTransport(mpisim::Comm comm);
+
+/// Section-VI proposal transport (nonblocking tuple-context creation).
+std::shared_ptr<Transport> MakeIcommTransport(mpisim::Comm comm);
+
+}  // namespace jsort

@@ -1,0 +1,81 @@
+#include "sort/workload.hpp"
+
+#include <cmath>
+#include <random>
+
+namespace jsort {
+
+const char* InputKindName(InputKind kind) {
+  switch (kind) {
+    case InputKind::kUniform: return "uniform";
+    case InputKind::kGaussian: return "gaussian";
+    case InputKind::kSortedAsc: return "sorted-asc";
+    case InputKind::kSortedDesc: return "sorted-desc";
+    case InputKind::kAllEqual: return "all-equal";
+    case InputKind::kFewDistinct: return "few-distinct";
+    case InputKind::kZipf: return "zipf";
+    case InputKind::kBucketKiller: return "bucket-killer";
+  }
+  return "?";
+}
+
+std::vector<double> GenerateInput(InputKind kind, int rank, int p,
+                                  std::int64_t count, std::uint64_t seed) {
+  std::vector<double> v(static_cast<std::size_t>(count));
+  std::mt19937_64 rng(seed ^ (0x9E3779B97F4A7C15ull *
+                              (static_cast<std::uint64_t>(rank) + 1)));
+  switch (kind) {
+    case InputKind::kUniform: {
+      std::uniform_real_distribution<double> d(0.0, 1.0);
+      for (auto& x : v) x = d(rng);
+      break;
+    }
+    case InputKind::kGaussian: {
+      std::normal_distribution<double> d(0.0, 1.0);
+      for (auto& x : v) x = d(rng);
+      break;
+    }
+    case InputKind::kSortedAsc: {
+      for (std::int64_t i = 0; i < count; ++i) {
+        v[static_cast<std::size_t>(i)] =
+            static_cast<double>(rank) * static_cast<double>(count) +
+            static_cast<double>(i);
+      }
+      break;
+    }
+    case InputKind::kSortedDesc: {
+      const double base =
+          static_cast<double>(p - 1 - rank) * static_cast<double>(count);
+      for (std::int64_t i = 0; i < count; ++i) {
+        v[static_cast<std::size_t>(i)] =
+            base + static_cast<double>(count - 1 - i);
+      }
+      break;
+    }
+    case InputKind::kAllEqual: {
+      for (auto& x : v) x = 42.0;
+      break;
+    }
+    case InputKind::kFewDistinct: {
+      std::uniform_int_distribution<int> d(0, 7);
+      for (auto& x : v) x = static_cast<double>(d(rng));
+      break;
+    }
+    case InputKind::kZipf: {
+      // Approximate Zipf over 1..1024 via inverse-power sampling.
+      std::uniform_real_distribution<double> d(0.0, 1.0);
+      for (auto& x : v) {
+        x = std::floor(std::pow(1024.0, d(rng)));
+      }
+      break;
+    }
+    case InputKind::kBucketKiller: {
+      std::uniform_real_distribution<double> d(0.0, 1.0);
+      for (auto& x : v) x = static_cast<double>(rank) + d(rng);
+      break;
+    }
+  }
+  return v;
+}
+
+}  // namespace jsort

@@ -1,0 +1,31 @@
+// Input generators for the sorting experiments: the uniform 64-bit
+// floating-point inputs of Section VIII plus standard adversarial
+// distributions used in the extended tests and ablations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace jsort {
+
+enum class InputKind {
+  kUniform,        // U(0,1) doubles -- the paper's workload
+  kGaussian,       // N(0,1)
+  kSortedAsc,      // already globally sorted
+  kSortedDesc,     // reverse sorted
+  kAllEqual,       // a single duplicated value
+  kFewDistinct,    // 8 distinct values, heavy duplicates
+  kZipf,           // skewed duplicates
+  kBucketKiller,   // staircase: rank r holds values around r (stresses
+                   // pivot locality)
+};
+
+const char* InputKindName(InputKind kind);
+
+/// Generates `count` elements for `rank` of `p` ranks. Deterministic in
+/// (kind, rank, p, seed). The concatenation over ranks is the global
+/// input.
+std::vector<double> GenerateInput(InputKind kind, int rank, int p,
+                                  std::int64_t count, std::uint64_t seed);
+
+}  // namespace jsort

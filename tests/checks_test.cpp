@@ -1,0 +1,106 @@
+// The distributed verification helpers themselves (they guard every other
+// sorting test, so they need their own adversarial coverage).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sort/checks.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+using testutil::RunRanks;
+
+void WithRbc(int p, const std::function<void(rbc::Comm&)>& fn) {
+  RunRanks(p, [&](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    fn(rw);
+  });
+}
+
+TEST(Fingerprint, DetectsSingleElementChange) {
+  WithRbc(4, [](rbc::Comm& rw) {
+    std::vector<double> data{1, 2, 3};
+    const auto a = jsort::GlobalFingerprint(data, rw);
+    if (rw.Rank() == 2) data[1] = 2.0000001;
+    const auto b = jsort::GlobalFingerprint(data, rw);
+    EXPECT_FALSE(a == b);
+  });
+}
+
+TEST(Fingerprint, DetectsDuplicateSubstitution) {
+  // {x, x, y} vs {x, y, y} -- an xor-based hash would miss this.
+  WithRbc(1, [](rbc::Comm& rw) {
+    const std::vector<double> a{5.0, 5.0, 7.0};
+    const std::vector<double> b{5.0, 7.0, 7.0};
+    EXPECT_FALSE(jsort::GlobalFingerprint(a, rw) ==
+                 jsort::GlobalFingerprint(b, rw));
+  });
+}
+
+TEST(Fingerprint, InvariantUnderRedistribution) {
+  WithRbc(3, [](rbc::Comm& rw) {
+    // Same global multiset {0..8}, distributed two different ways.
+    std::vector<double> byrank, skewed;
+    for (int i = 0; i < 3; ++i) {
+      byrank.push_back(rw.Rank() * 3 + i);
+    }
+    if (rw.Rank() == 0) {
+      skewed = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+    }
+    EXPECT_EQ(jsort::GlobalFingerprint(byrank, rw),
+              jsort::GlobalFingerprint(skewed, rw));
+  });
+}
+
+TEST(Sorted, AcceptsSortedAcrossRanks) {
+  WithRbc(4, [](rbc::Comm& rw) {
+    std::vector<double> data;
+    for (int i = 0; i < 5; ++i) data.push_back(rw.Rank() * 5 + i);
+    EXPECT_TRUE(jsort::IsGloballySorted(data, rw));
+  });
+}
+
+TEST(Sorted, RejectsLocalDisorder) {
+  WithRbc(4, [](rbc::Comm& rw) {
+    std::vector<double> data{1.0, 0.0};
+    EXPECT_FALSE(jsort::IsGloballySorted(data, rw));
+  });
+}
+
+TEST(Sorted, RejectsBoundaryViolation) {
+  WithRbc(2, [](rbc::Comm& rw) {
+    // Locally sorted but rank 0's last element exceeds rank 1's first.
+    const std::vector<double> data =
+        rw.Rank() == 0 ? std::vector<double>{1, 9} : std::vector<double>{5, 6};
+    EXPECT_FALSE(jsort::IsGloballySorted(data, rw));
+  });
+}
+
+TEST(Sorted, ToleratesEmptyRanks) {
+  WithRbc(4, [](rbc::Comm& rw) {
+    std::vector<double> data;
+    if (rw.Rank() == 1) data = {3.0, 4.0};
+    if (rw.Rank() == 3) data = {5.0};
+    EXPECT_TRUE(jsort::IsGloballySorted(data, rw));
+  });
+}
+
+TEST(Sorted, BoundaryTiesAreSorted) {
+  WithRbc(2, [](rbc::Comm& rw) {
+    const std::vector<double> data{7.0, 7.0};  // equal across the boundary
+    EXPECT_TRUE(jsort::IsGloballySorted(data, rw));
+  });
+}
+
+TEST(BalanceCheck, ReportsSpread) {
+  WithRbc(3, [](rbc::Comm& rw) {
+    std::vector<double> data(static_cast<std::size_t>(rw.Rank() + 1), 0.0);
+    const auto b = jsort::GlobalBalance(data, rw);
+    EXPECT_EQ(b.min_count, 1);
+    EXPECT_EQ(b.max_count, 3);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,202 @@
+// Blocking collectives of the substrate, swept over process counts
+// (including non-powers of two) and payload sizes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "testutil.hpp"
+
+namespace {
+
+using mpisim::Comm;
+using mpisim::Datatype;
+using mpisim::ReduceOp;
+using testutil::RunRanks;
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16));
+
+TEST_P(CollectiveSweep, BcastFromEveryRoot) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<std::int64_t> buf(3, world.Rank() == root ? 7 + root : -1);
+      mpisim::Bcast(buf.data(), 3, Datatype::kInt64, root, world);
+      EXPECT_EQ(buf, (std::vector<std::int64_t>(3, 7 + root)));
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceSumsToEveryRoot) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    for (int root = 0; root < p; ++root) {
+      const std::int64_t mine = world.Rank() + 1;
+      std::int64_t out = 0;
+      mpisim::Reduce(&mine, &out, 1, Datatype::kInt64, ReduceOp::kSum, root,
+                     world);
+      if (world.Rank() == root) {
+        EXPECT_EQ(out, static_cast<std::int64_t>(p) * (p + 1) / 2);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceMinMax) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    const double mine = static_cast<double>(world.Rank());
+    double mn = 0, mx = 0;
+    mpisim::Allreduce(&mine, &mn, 1, Datatype::kFloat64, ReduceOp::kMin,
+                      world);
+    mpisim::Allreduce(&mine, &mx, 1, Datatype::kFloat64, ReduceOp::kMax,
+                      world);
+    EXPECT_DOUBLE_EQ(mn, 0.0);
+    EXPECT_DOUBLE_EQ(mx, static_cast<double>(p - 1));
+  });
+}
+
+TEST_P(CollectiveSweep, InclusiveScanMatchesPrefix) {
+  const int p = GetParam();
+  RunRanks(p, [](Comm& world) {
+    const std::int64_t mine[2] = {world.Rank() + 1, 1};
+    std::int64_t out[2] = {0, 0};
+    mpisim::Scan(mine, out, 2, Datatype::kInt64, ReduceOp::kSum, world);
+    const std::int64_t r = world.Rank();
+    EXPECT_EQ(out[0], (r + 1) * (r + 2) / 2);
+    EXPECT_EQ(out[1], r + 1);
+  });
+}
+
+TEST_P(CollectiveSweep, ExscanMatchesExclusivePrefix) {
+  const int p = GetParam();
+  RunRanks(p, [](Comm& world) {
+    const std::int64_t mine = world.Rank() + 1;
+    std::int64_t out = -1;
+    mpisim::Exscan(&mine, &out, 1, Datatype::kInt64, ReduceOp::kSum, world);
+    const std::int64_t r = world.Rank();
+    EXPECT_EQ(out, r * (r + 1) / 2);  // 0 on rank 0 (zero-filled)
+  });
+}
+
+TEST_P(CollectiveSweep, GatherOrdersBlocksByRank) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    for (int root = 0; root < std::min(p, 3); ++root) {
+      const std::int64_t mine[2] = {world.Rank(), world.Rank() * 10};
+      std::vector<std::int64_t> all(static_cast<std::size_t>(2 * p), -1);
+      mpisim::Gather(mine, 2, Datatype::kInt64, all.data(), root, world);
+      if (world.Rank() == root) {
+        for (int r = 0; r < p; ++r) {
+          EXPECT_EQ(all[static_cast<std::size_t>(2 * r)], r);
+          EXPECT_EQ(all[static_cast<std::size_t>(2 * r + 1)], r * 10);
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, GathervCollectsVariableBlocks) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    // Rank r contributes r+1 values of r.
+    const int mine_n = world.Rank() + 1;
+    std::vector<double> mine(static_cast<std::size_t>(mine_n),
+                             static_cast<double>(world.Rank()));
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      total += r + 1;
+    }
+    std::vector<double> all(static_cast<std::size_t>(total), -1.0);
+    mpisim::Gatherv(mine.data(), mine_n, Datatype::kFloat64, all.data(),
+                    counts, displs, 0, world);
+    if (world.Rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        for (int i = 0; i < r + 1; ++i) {
+          EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + i)],
+                           static_cast<double>(r));
+        }
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherDistributesAllBlocks) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    const std::int64_t mine = 100 + world.Rank();
+    std::vector<std::int64_t> all(static_cast<std::size_t>(p), -1);
+    mpisim::Allgather(&mine, 1, Datatype::kInt64, all.data(), world);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[static_cast<std::size_t>(r)], 100 + r);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AlltoallTransposesBlocks) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    std::vector<std::int64_t> send(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+      send[static_cast<std::size_t>(i)] = world.Rank() * 1000 + i;
+    }
+    std::vector<std::int64_t> recv(static_cast<std::size_t>(p), -1);
+    mpisim::Alltoall(send.data(), 1, Datatype::kInt64, recv.data(), world);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(r)], r * 1000 + world.Rank());
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, BarrierCompletes) {
+  const int p = GetParam();
+  RunRanks(p, [](Comm& world) {
+    for (int i = 0; i < 3; ++i) mpisim::Barrier(world);
+  });
+}
+
+TEST(Collectives, ScanLargePayload) {
+  RunRanks(5, [](Comm& world) {
+    std::vector<double> mine(1000, 1.0);
+    std::vector<double> out(1000, 0.0);
+    mpisim::Scan(mine.data(), out.data(), 1000, Datatype::kFloat64,
+                 ReduceOp::kSum, world);
+    EXPECT_DOUBLE_EQ(out[0], world.Rank() + 1.0);
+    EXPECT_DOUBLE_EQ(out[999], world.Rank() + 1.0);
+  });
+}
+
+TEST(Collectives, ReducePairMaxFirstSelectsWinner) {
+  RunRanks(4, [](Comm& world) {
+    const mpisim::PairDD mine{static_cast<double>(world.Rank()),
+                              world.Rank() * 2.0};
+    mpisim::PairDD out{-1, -1};
+    mpisim::Reduce(&mine, &out, 1, Datatype::kPairDoubleDouble,
+                   ReduceOp::kMaxPairFirst, 0, world);
+    if (world.Rank() == 0) {
+      EXPECT_DOUBLE_EQ(out.first, 3.0);
+      EXPECT_DOUBLE_EQ(out.second, 6.0);
+    }
+  });
+}
+
+TEST(Collectives, AllgathervVariableBlocks) {
+  RunRanks(4, [](Comm& world) {
+    const int mine_n = world.Rank() + 1;
+    std::vector<std::int64_t> mine(static_cast<std::size_t>(mine_n),
+                                   world.Rank());
+    std::vector<int> counts{1, 2, 3, 4}, displs{0, 1, 3, 6};
+    std::vector<std::int64_t> all(10, -1);
+    mpisim::Allgatherv(mine.data(), mine_n, Datatype::kInt64, all.data(),
+                       counts, displs, world);
+    EXPECT_EQ(all, (std::vector<std::int64_t>{0, 1, 1, 2, 2, 2, 3, 3, 3, 3}));
+  });
+}
+
+}  // namespace

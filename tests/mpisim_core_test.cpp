@@ -1,0 +1,247 @@
+// Core substrate units: datatypes/reductions, groups, runtime behaviour
+// (error propagation, determinism of the virtual clock, deadlock
+// detection), and the mailbox.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "testutil.hpp"
+
+namespace {
+
+using mpisim::ApplyReduce;
+using mpisim::Datatype;
+using mpisim::Group;
+using mpisim::RankRange;
+using mpisim::ReduceOp;
+
+TEST(Datatypes, SizesMatchWireFormat) {
+  EXPECT_EQ(mpisim::SizeOf(Datatype::kByte), 1u);
+  EXPECT_EQ(mpisim::SizeOf(Datatype::kInt32), 4u);
+  EXPECT_EQ(mpisim::SizeOf(Datatype::kInt64), 8u);
+  EXPECT_EQ(mpisim::SizeOf(Datatype::kFloat64), 8u);
+  EXPECT_EQ(mpisim::SizeOf(Datatype::kPairDoubleDouble), 16u);
+}
+
+TEST(Reductions, ArithmeticOps) {
+  const std::int64_t a[3] = {1, 5, -2};
+  std::int64_t b[3] = {10, 2, 3};
+  ApplyReduce(ReduceOp::kSum, Datatype::kInt64, a, b, 3);
+  EXPECT_EQ(b[0], 11);
+  EXPECT_EQ(b[1], 7);
+  EXPECT_EQ(b[2], 1);
+  std::int64_t c[3] = {10, 2, 3};
+  ApplyReduce(ReduceOp::kMin, Datatype::kInt64, a, c, 3);
+  EXPECT_EQ(c[0], 1);
+  EXPECT_EQ(c[1], 2);
+  EXPECT_EQ(c[2], -2);
+  std::int64_t d[3] = {10, 2, 3};
+  ApplyReduce(ReduceOp::kMax, Datatype::kInt64, a, d, 3);
+  EXPECT_EQ(d[0], 10);
+  EXPECT_EQ(d[1], 5);
+  EXPECT_EQ(d[2], 3);
+}
+
+TEST(Reductions, BitwiseOps) {
+  const std::uint32_t a = 0b1100;
+  std::uint32_t band = 0b1010, bor = 0b1010, bxor = 0b1010;
+  ApplyReduce(ReduceOp::kBand, Datatype::kUint32, &a, &band, 1);
+  ApplyReduce(ReduceOp::kBor, Datatype::kUint32, &a, &bor, 1);
+  ApplyReduce(ReduceOp::kBxor, Datatype::kUint32, &a, &bxor, 1);
+  EXPECT_EQ(band, 0b1000u);
+  EXPECT_EQ(bor, 0b1110u);
+  EXPECT_EQ(bxor, 0b0110u);
+}
+
+TEST(Reductions, PairSelection) {
+  const mpisim::PairDD a{2.0, 20.0};
+  mpisim::PairDD hi{1.0, 10.0};
+  ApplyReduce(ReduceOp::kMaxPairFirst, Datatype::kPairDoubleDouble, &a, &hi,
+              1);
+  EXPECT_DOUBLE_EQ(hi.second, 20.0);
+  mpisim::PairII lo{{3}, {30}};
+  const mpisim::PairII b{2, 99};
+  ApplyReduce(ReduceOp::kMinPairFirst, Datatype::kPairInt64Int64, &b, &lo,
+              1);
+  EXPECT_EQ(lo.second, 99);
+}
+
+TEST(Reductions, InvalidCombinationsThrow) {
+  double a = 1, b = 2;
+  EXPECT_THROW(ApplyReduce(ReduceOp::kBand, Datatype::kFloat64, &a, &b, 1),
+               mpisim::UsageError);
+  mpisim::PairDD pa{1, 1}, pb{2, 2};
+  EXPECT_THROW(
+      ApplyReduce(ReduceOp::kSum, Datatype::kPairDoubleDouble, &pa, &pb, 1),
+      mpisim::UsageError);
+}
+
+TEST(Groups, WorldIsRangeFormat) {
+  Group g = Group::World(100);
+  EXPECT_EQ(g.Size(), 100);
+  EXPECT_FALSE(g.IsExplicit());
+  EXPECT_EQ(g.StorageEntries(), 1u);  // O(1) storage
+  EXPECT_EQ(g.WorldRank(57), 57);
+  EXPECT_EQ(g.RankOfWorld(99), 99);
+}
+
+TEST(Groups, StridedRangeArithmetic) {
+  Group g = Group::FromRanges({RankRange{10, 30, 5}});  // 10,15,20,25,30
+  EXPECT_EQ(g.Size(), 5);
+  EXPECT_EQ(g.WorldRank(2), 20);
+  EXPECT_EQ(g.RankOfWorld(25), 3);
+  EXPECT_EQ(g.RankOfWorld(12), -1);
+}
+
+TEST(Groups, MultiRangeConcatenation) {
+  Group g = Group::FromRanges({RankRange{0, 1, 1}, RankRange{8, 9, 1}});
+  EXPECT_EQ(g.Size(), 4);
+  EXPECT_EQ(g.WorldRank(2), 8);
+  EXPECT_EQ(g.RankOfWorld(9), 3);
+}
+
+TEST(Groups, ContiguousRangeDetection) {
+  Group parent = Group::FromRanges({RankRange{4, 19, 1}});
+  Group child = Group::FromRanges({RankRange{8, 11, 1}});
+  const auto range = child.AsContiguousRangeOf(parent);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, 4);
+  EXPECT_EQ(range->second, 7);
+  Group strided = Group::FromRanges({RankRange{4, 10, 2}});
+  EXPECT_FALSE(strided.AsContiguousRangeOf(parent).has_value());
+  Group outsider = Group::FromRanges({RankRange{0, 3, 1}});
+  EXPECT_FALSE(outsider.AsContiguousRangeOf(parent).has_value());
+}
+
+TEST(Groups, ExplicitContiguousRangeDetection) {
+  Group parent = Group::World(10);
+  Group child = Group::FromExplicit({3, 4, 5});
+  const auto range = child.AsContiguousRangeOf(parent);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->first, 3);
+  Group shuffled = Group::FromExplicit({4, 3, 5});
+  EXPECT_FALSE(shuffled.AsContiguousRangeOf(parent).has_value());
+}
+
+TEST(Groups, MaterializedPreservesOrder) {
+  Group g = Group::FromRanges({RankRange{6, 2, 1}});  // empty range
+  EXPECT_EQ(g.Size(), 0);
+  Group h = Group::FromRanges({RankRange{2, 6, 2}}).Materialized();
+  EXPECT_TRUE(h.IsExplicit());
+  EXPECT_EQ(h.Size(), 3);
+  EXPECT_EQ(h.WorldRank(1), 4);
+}
+
+TEST(Groups, DuplicateWorldRankThrows) {
+  EXPECT_THROW(Group::FromExplicit({1, 2, 1}), mpisim::UsageError);
+}
+
+TEST(Runtime, ExceptionInOneRankPropagatesAndUnblocksOthers) {
+  // Rank 1 throws while rank 0 blocks in a receive that will never be
+  // matched; the abort machinery must wake rank 0 and rethrow rank 1's
+  // error from Run().
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = 2});
+  EXPECT_THROW(rt.Run([](mpisim::Comm& world) {
+                 if (world.Rank() == 1) {
+                   throw std::logic_error("rank 1 failed");
+                 }
+                 int buf = 0;
+                 mpisim::Recv(&buf, 1, Datatype::kInt32, 1, 0, world);
+               }),
+               std::logic_error);
+}
+
+TEST(Runtime, DeadlockTimeoutFiresInsteadOfHanging) {
+  mpisim::Runtime::Options opts;
+  opts.num_ranks = 2;
+  opts.deadlock_timeout = std::chrono::milliseconds(200);
+  mpisim::Runtime rt(opts);
+  EXPECT_THROW(rt.Run([](mpisim::Comm& world) {
+                 int buf = 0;
+                 // Both ranks receive, nobody sends: a real deadlock.
+                 mpisim::Recv(&buf, 1, Datatype::kInt32, 1 - world.Rank(),
+                              0, world);
+               }),
+               mpisim::DeadlockError);
+}
+
+TEST(Runtime, VirtualClockIsDeterministic) {
+  auto run_once = [] {
+    mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = 8});
+    rt.Run([](mpisim::Comm& world) {
+      std::vector<double> v(100, 1.0);
+      mpisim::Bcast(v.data(), 100, Datatype::kFloat64, 0, world);
+      double sum = 0;
+      mpisim::Allreduce(v.data(), &sum, 1, Datatype::kFloat64,
+                        ReduceOp::kSum, world);
+      mpisim::Barrier(world);
+    });
+    return rt.MaxVirtualTime();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(Runtime, ResetClocksBetweenMeasurements) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = 2});
+  rt.Run([](mpisim::Comm& world) { mpisim::Barrier(world); });
+  EXPECT_GT(rt.MaxVirtualTime(), 0.0);
+  rt.ResetClocksAndStats();
+  EXPECT_DOUBLE_EQ(rt.MaxVirtualTime(), 0.0);
+  EXPECT_EQ(rt.TotalStats().messages_sent, 0u);
+}
+
+TEST(Runtime, OperationsOutsideRankThreadThrow) {
+  EXPECT_THROW(mpisim::Ctx(), mpisim::UsageError);
+  EXPECT_FALSE(mpisim::InsideRank());
+}
+
+TEST(Runtime, RunCanBeInvokedRepeatedly) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = 3});
+  for (int i = 0; i < 3; ++i) {
+    rt.Run([i](mpisim::Comm& world) {
+      std::int64_t v = world.Rank() == 0 ? i : -1;
+      mpisim::Bcast(&v, 1, Datatype::kInt64, 0, world);
+      EXPECT_EQ(v, i);
+    });
+  }
+}
+
+TEST(Mailbox, MatchingIsFifoPerEnvelope) {
+  mpisim::Mailbox mb;
+  for (int i = 0; i < 3; ++i) {
+    mpisim::Message m;
+    m.env = mpisim::Envelope{.context = 1, .source = 0, .source_global = 0,
+                             .tag = 5};
+    m.payload.resize(1, static_cast<std::byte>(i));
+    mb.Post(std::move(m));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto m = mb.TryPop(1, 0, 5);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(static_cast<int>(m->payload[0]), i);
+  }
+  EXPECT_FALSE(mb.TryPop(1, 0, 5).has_value());
+}
+
+TEST(Mailbox, WildcardsMatchAnySourceAndTag) {
+  mpisim::Mailbox mb;
+  mpisim::Message m;
+  m.env = mpisim::Envelope{.context = 7, .source = 3, .source_global = 3,
+                           .tag = 9};
+  mb.Post(std::move(m));
+  mpisim::Envelope env;
+  std::size_t bytes = 0;
+  EXPECT_FALSE(mb.TryPeek(8, mpisim::kAnySource, mpisim::kAnyTag, &env,
+                          &bytes));  // wrong context
+  EXPECT_TRUE(mb.TryPeek(7, mpisim::kAnySource, mpisim::kAnyTag, &env,
+                         &bytes));
+  EXPECT_EQ(env.source, 3);
+  EXPECT_EQ(env.tag, 9);
+  EXPECT_TRUE(mb.TryPop(7, 3, 9).has_value());
+}
+
+}  // namespace

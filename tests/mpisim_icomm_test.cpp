@@ -1,0 +1,184 @@
+// The Section-VI proposal MPI_Icomm_create_group: constant-time local
+// range path (zero messages), general broadcast path, and full context
+// isolation of the resulting communicators.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "testutil.hpp"
+
+namespace {
+
+using mpisim::Comm;
+using mpisim::Datatype;
+using mpisim::Group;
+using mpisim::RankRange;
+using mpisim::ReduceOp;
+using mpisim::Request;
+using testutil::RunRanks;
+
+TEST(IcommCreate, RangePathCompletesImmediately) {
+  RunRanks(6, [](Comm& world) {
+    if (world.Rank() > 3) return;
+    const std::array<RankRange, 1> r{RankRange{0, 3, 1}};
+    Group g = mpisim::GroupRangeIncl(world, r);
+    Comm sub;
+    Request req = mpisim::IcommCreateGroup(world, g, 5, &sub);
+    EXPECT_TRUE(mpisim::Test(req));  // O(1) local: complete at once
+    ASSERT_FALSE(sub.IsNull());
+    EXPECT_EQ(sub.Size(), 4);
+    EXPECT_EQ(sub.Rank(), world.Rank());
+  });
+}
+
+TEST(IcommCreate, RangePathSendsZeroMessages) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = 4});
+  rt.Run([&rt](Comm& world) {
+    mpisim::Barrier(world);
+    rt.ResetClocksAndStats();
+    const std::array<RankRange, 1> r{RankRange{0, 1, 1}};
+    if (world.Rank() <= 1) {
+      Group g = mpisim::GroupRangeIncl(world, r);
+      Comm sub;
+      Request req = mpisim::IcommCreateGroup(world, g, 5, &sub);
+      mpisim::Wait(req);
+      ASSERT_FALSE(sub.IsNull());
+      EXPECT_EQ(mpisim::Ctx().stats.messages_sent, 0u);
+    }
+  });
+}
+
+TEST(IcommCreate, RangeCommunicatorIsolatesTraffic) {
+  RunRanks(4, [](Comm& world) {
+    const std::array<RankRange, 1> r{RankRange{0, 3, 1}};
+    Group g = mpisim::GroupRangeIncl(world, r);
+    Comm sub;
+    Request req = mpisim::IcommCreateGroup(world, g, 5, &sub);
+    mpisim::Wait(req);
+    // Same ranks, same tags, two contexts: messages must not cross.
+    if (world.Rank() == 0) {
+      const int a = 1, b = 2;
+      mpisim::Send(&a, 1, Datatype::kInt32, 1, 0, world);
+      mpisim::Send(&b, 1, Datatype::kInt32, 1, 0, sub);
+    } else if (world.Rank() == 1) {
+      int got = 0;
+      mpisim::Recv(&got, 1, Datatype::kInt32, 0, 0, sub);
+      EXPECT_EQ(got, 2);
+      mpisim::Recv(&got, 1, Datatype::kInt32, 0, 0, world);
+      EXPECT_EQ(got, 1);
+    }
+  });
+}
+
+TEST(IcommCreate, NestedRangesStayLocal) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = 8});
+  rt.Run([&rt](Comm& world) {
+    mpisim::Barrier(world);
+    rt.ResetClocksAndStats();
+    // Recursive halving, every split via the range path.
+    Comm cur = world;
+    int first = 0, size = 8;
+    while (size > 1 && mpisim::Ctx().world_rank >= first &&
+           mpisim::Ctx().world_rank < first + size) {
+      const int half = size / 2;
+      const bool low = mpisim::Ctx().world_rank < first + half;
+      const RankRange r =
+          low ? RankRange{0, half - 1, 1} : RankRange{half, size - 1, 1};
+      const std::array<RankRange, 1> rr{r};
+      Group g = mpisim::GroupRangeIncl(cur, rr);
+      Comm sub;
+      Request req = mpisim::IcommCreateGroup(cur, g, 5, &sub);
+      EXPECT_TRUE(mpisim::Test(req));
+      cur = sub;
+      if (low) {
+        size = half;
+      } else {
+        first += half;
+        size -= half;
+      }
+    }
+    EXPECT_EQ(mpisim::Ctx().stats.messages_sent, 0u);
+    EXPECT_EQ(cur.Size(), 1);
+  });
+}
+
+TEST(IcommCreate, GeneralPathBroadcastsTuple) {
+  RunRanks(6, [](Comm& world) {
+    // A non-contiguous group: even ranks.
+    if (world.Rank() % 2 != 0) return;
+    const std::array<int, 3> members{0, 2, 4};
+    Group g = mpisim::GroupIncl(world, members);
+    Comm sub;
+    Request req = mpisim::IcommCreateGroup(world, g, 11, &sub);
+    mpisim::Wait(req);
+    ASSERT_FALSE(sub.IsNull());
+    EXPECT_EQ(sub.Size(), 3);
+    EXPECT_EQ(sub.Rank(), world.Rank() / 2);
+    std::int64_t sum = 0;
+    const std::int64_t mine = world.Rank();
+    mpisim::Allreduce(&mine, &sum, 1, Datatype::kInt64, ReduceOp::kSum, sub);
+    EXPECT_EQ(sum, 6);
+  });
+}
+
+TEST(IcommCreate, SameGroupAsParentDistinguishedByC) {
+  RunRanks(3, [](Comm& world) {
+    const std::array<RankRange, 1> r{RankRange{0, 2, 1}};
+    Group g = mpisim::GroupRangeIncl(world, r);
+    Comm same;
+    Request req = mpisim::IcommCreateGroup(world, g, 1, &same);
+    mpisim::Wait(req);
+    ASSERT_FALSE(same.IsNull());
+    EXPECT_NE(same.Base(), world.Base());
+    ASSERT_TRUE(same.Tuple().has_value());
+    EXPECT_EQ(same.Tuple()->c, world.Tuple()->c + 1);
+  });
+}
+
+TEST(IcommCreate, TwoSimultaneousCreationsProgressTogether) {
+  // Two overlapping general-path creations in flight at once on rank 2.
+  RunRanks(5, [](Comm& world) {
+    const int r = world.Rank();
+    Comm left, right;
+    Request lreq, rreq;
+    // Use non-contiguous member lists to force the broadcast path.
+    if (r == 0 || r == 1 || r == 2) {
+      const std::array<int, 3> m{0, 2, 1};
+      lreq = mpisim::IcommCreateGroup(world, mpisim::GroupIncl(world, m), 21,
+                                      &left);
+    }
+    if (r == 2 || r == 3 || r == 4) {
+      const std::array<int, 3> m{4, 2, 3};
+      rreq = mpisim::IcommCreateGroup(world, mpisim::GroupIncl(world, m), 22,
+                                      &right);
+    }
+    if (!lreq.IsNull()) mpisim::Wait(lreq);
+    if (!rreq.IsNull()) mpisim::Wait(rreq);
+    if (!left.IsNull()) {
+      std::int64_t v = left.Rank() == 0 ? 7 : -1;
+      mpisim::Bcast(&v, 1, Datatype::kInt64, 0, left);
+      EXPECT_EQ(v, 7);
+    }
+    if (!right.IsNull()) {
+      std::int64_t v = right.Rank() == 0 ? 8 : -1;
+      mpisim::Bcast(&v, 1, Datatype::kInt64, 0, right);
+      EXPECT_EQ(v, 8);
+    }
+  });
+}
+
+TEST(IcommCreate, NonMemberThrows) {
+  EXPECT_THROW(
+      RunRanks(3,
+               [](Comm& world) {
+                 const std::array<RankRange, 1> r{RankRange{1, 2, 1}};
+                 Group g = mpisim::GroupRangeIncl(world, r);
+                 Comm sub;
+                 // All ranks call, including non-member rank 0.
+                 mpisim::IcommCreateGroup(world, g, 0, &sub);
+               }),
+      mpisim::UsageError);
+}
+
+}  // namespace

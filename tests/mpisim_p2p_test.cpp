@@ -1,0 +1,257 @@
+// Point-to-point semantics of the mpisim substrate.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "testutil.hpp"
+
+namespace {
+
+using mpisim::Comm;
+using mpisim::Datatype;
+using mpisim::Request;
+using mpisim::Status;
+using testutil::RunRanks;
+
+TEST(P2P, BlockingSendRecvDeliversPayload) {
+  RunRanks(2, [](Comm& world) {
+    if (world.Rank() == 0) {
+      const std::vector<int> data{1, 2, 3, 4, 5};
+      mpisim::Send(data.data(), 5, Datatype::kInt32, 1, 7, world);
+    } else {
+      std::vector<int> got(5, 0);
+      Status st;
+      mpisim::Recv(got.data(), 5, Datatype::kInt32, 0, 7, world, &st);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5}));
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.Count(Datatype::kInt32), 5);
+    }
+  });
+}
+
+TEST(P2P, MessagesFromOnePairAreFifoOrdered) {
+  constexpr int kMessages = 64;
+  RunRanks(2, [](Comm& world) {
+    if (world.Rank() == 0) {
+      for (int i = 0; i < kMessages; ++i) {
+        mpisim::Send(&i, 1, Datatype::kInt32, 1, 3, world);
+      }
+    } else {
+      for (int i = 0; i < kMessages; ++i) {
+        int got = -1;
+        mpisim::Recv(&got, 1, Datatype::kInt32, 0, 3, world);
+        EXPECT_EQ(got, i);
+      }
+    }
+  });
+}
+
+TEST(P2P, TagsSelectMessagesOutOfOrder) {
+  RunRanks(2, [](Comm& world) {
+    if (world.Rank() == 0) {
+      const int a = 10, b = 20;
+      mpisim::Send(&a, 1, Datatype::kInt32, 1, 1, world);
+      mpisim::Send(&b, 1, Datatype::kInt32, 1, 2, world);
+    } else {
+      int got = 0;
+      mpisim::Recv(&got, 1, Datatype::kInt32, 0, 2, world);
+      EXPECT_EQ(got, 20);
+      mpisim::Recv(&got, 1, Datatype::kInt32, 0, 1, world);
+      EXPECT_EQ(got, 10);
+    }
+  });
+}
+
+TEST(P2P, AnySourceReceivesFromBothPeers) {
+  RunRanks(3, [](Comm& world) {
+    if (world.Rank() != 0) {
+      const int v = world.Rank() * 100;
+      mpisim::Send(&v, 1, Datatype::kInt32, 0, 5, world);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        int got = 0;
+        Status st;
+        mpisim::Recv(&got, 1, Datatype::kInt32, mpisim::kAnySource, 5, world,
+                     &st);
+        EXPECT_EQ(got, st.source * 100);
+        sum += got;
+      }
+      EXPECT_EQ(sum, 300);
+    }
+  });
+}
+
+TEST(P2P, IsendIrecvCompleteViaTest) {
+  RunRanks(2, [](Comm& world) {
+    if (world.Rank() == 0) {
+      const double v = 2.5;
+      Request req = mpisim::Isend(&v, 1, Datatype::kFloat64, 1, 9, world);
+      mpisim::Wait(req);
+    } else {
+      double got = 0.0;
+      Request req = mpisim::Irecv(&got, 1, Datatype::kFloat64, 0, 9, world);
+      Status st;
+      mpisim::Wait(req, &st);
+      EXPECT_DOUBLE_EQ(got, 2.5);
+      EXPECT_EQ(st.source, 0);
+    }
+  });
+}
+
+TEST(P2P, IrecvAnySourceMatchesLater) {
+  RunRanks(2, [](Comm& world) {
+    if (world.Rank() == 1) {
+      double got = 0.0;
+      Request req =
+          mpisim::Irecv(&got, 1, Datatype::kFloat64, mpisim::kAnySource, 4,
+                        world);
+      // Tell rank 0 we posted the receive, then wait.
+      const int token = 1;
+      mpisim::Send(&token, 1, Datatype::kInt32, 0, 1, world);
+      mpisim::Wait(req);
+      EXPECT_DOUBLE_EQ(got, 7.25);
+    } else {
+      int token = 0;
+      mpisim::Recv(&token, 1, Datatype::kInt32, 1, 1, world);
+      const double v = 7.25;
+      mpisim::Send(&v, 1, Datatype::kFloat64, 1, 4, world);
+    }
+  });
+}
+
+TEST(P2P, ProbeReportsSizeWithoutConsuming) {
+  RunRanks(2, [](Comm& world) {
+    if (world.Rank() == 0) {
+      const std::vector<double> v(17, 1.0);
+      mpisim::Send(v.data(), 17, Datatype::kFloat64, 1, 2, world);
+    } else {
+      Status st;
+      mpisim::Probe(0, 2, world, &st);
+      EXPECT_EQ(st.Count(Datatype::kFloat64), 17);
+      std::vector<double> got(static_cast<std::size_t>(st.Count(Datatype::kFloat64)));
+      mpisim::Recv(got.data(), 17, Datatype::kFloat64, 0, 2, world);
+      EXPECT_DOUBLE_EQ(got[16], 1.0);
+    }
+  });
+}
+
+TEST(P2P, IprobeReturnsFalseWhenNoMessage) {
+  RunRanks(2, [](Comm& world) {
+    if (world.Rank() == 1) {
+      Status st;
+      EXPECT_FALSE(mpisim::Iprobe(0, 99, world, &st));
+    }
+  });
+}
+
+TEST(P2P, SelfSendIsDelivered) {
+  RunRanks(1, [](Comm& world) {
+    const int v = 11;
+    mpisim::Send(&v, 1, Datatype::kInt32, 0, 0, world);
+    int got = 0;
+    mpisim::Recv(&got, 1, Datatype::kInt32, 0, 0, world);
+    EXPECT_EQ(got, 11);
+  });
+}
+
+TEST(P2P, TruncatingReceiveThrows) {
+  EXPECT_THROW(
+      RunRanks(2,
+               [](Comm& world) {
+                 if (world.Rank() == 0) {
+                   const std::vector<int> v(10, 1);
+                   mpisim::Send(v.data(), 10, Datatype::kInt32, 1, 0, world);
+                 } else {
+                   int got[2];
+                   mpisim::Recv(got, 2, Datatype::kInt32, 0, 0, world);
+                 }
+               }),
+      mpisim::UsageError);
+}
+
+TEST(P2P, RankOutOfRangeThrows) {
+  EXPECT_THROW(RunRanks(2,
+                        [](Comm& world) {
+                          const int v = 0;
+                          mpisim::Send(&v, 1, Datatype::kInt32, 5, 0, world);
+                        }),
+               mpisim::UsageError);
+}
+
+TEST(P2P, ShorterMessageThanBufferIsAccepted) {
+  RunRanks(2, [](Comm& world) {
+    if (world.Rank() == 0) {
+      const int v = 3;
+      mpisim::Send(&v, 1, Datatype::kInt32, 1, 0, world);
+    } else {
+      int got[8] = {0};
+      Status st;
+      mpisim::Recv(got, 8, Datatype::kInt32, 0, 0, world, &st);
+      EXPECT_EQ(st.Count(Datatype::kInt32), 1);
+      EXPECT_EQ(got[0], 3);
+    }
+  });
+}
+
+TEST(P2P, WaitallCompletesMixedRequests) {
+  RunRanks(2, [](Comm& world) {
+    std::vector<int> out(4, world.Rank());
+    std::vector<int> in(4, -1);
+    const int peer = 1 - world.Rank();
+    std::vector<Request> reqs;
+    for (int i = 0; i < 4; ++i) {
+      reqs.push_back(
+          mpisim::Isend(&out[static_cast<std::size_t>(i)], 1,
+                        Datatype::kInt32, peer, i, world));
+      reqs.push_back(
+          mpisim::Irecv(&in[static_cast<std::size_t>(i)], 1,
+                        Datatype::kInt32, peer, i, world));
+    }
+    mpisim::Waitall(reqs);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(in[static_cast<std::size_t>(i)], peer);
+  });
+}
+
+TEST(P2P, VirtualClockChargesAlphaBeta) {
+  mpisim::Runtime::Options opts;
+  opts.num_ranks = 2;
+  opts.cost.alpha = 10.0;
+  opts.cost.beta = 0.5;
+  testutil::RunRanks(opts, [](Comm& world, mpisim::Runtime& rt) {
+    const std::vector<double> v(8, 1.0);  // 8 words = 64 bytes
+    if (world.Rank() == 0) {
+      mpisim::Send(v.data(), 8, Datatype::kFloat64, 1, 0, world);
+      // Sender pays alpha + 8*beta = 14.
+      EXPECT_DOUBLE_EQ(mpisim::Ctx().clock.Now(), 14.0);
+    } else {
+      std::vector<double> got(8);
+      mpisim::Recv(got.data(), 8, Datatype::kFloat64, 0, 0, world);
+      // Receiver: max(0, sender_start=0) + 14.
+      EXPECT_DOUBLE_EQ(mpisim::Ctx().clock.Now(), 14.0);
+    }
+    (void)rt;
+  });
+}
+
+TEST(P2P, StatsCountMessagesAndBytes) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = 2});
+  rt.Run([](Comm& world) {
+    if (world.Rank() == 0) {
+      const std::vector<int> v(25, 1);
+      mpisim::Send(v.data(), 25, Datatype::kInt32, 1, 0, world);
+    } else {
+      std::vector<int> got(25);
+      mpisim::Recv(got.data(), 25, Datatype::kInt32, 0, 0, world);
+    }
+  });
+  const mpisim::Stats s = rt.TotalStats();
+  EXPECT_EQ(s.messages_sent, 1u);
+  EXPECT_EQ(s.bytes_sent, 100u);
+  EXPECT_EQ(s.messages_received, 1u);
+  EXPECT_EQ(s.bytes_received, 100u);
+}
+
+}  // namespace

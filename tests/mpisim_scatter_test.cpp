@@ -1,0 +1,140 @@
+// Scatter / Scatterv / Sendrecv of the substrate.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testutil.hpp"
+
+namespace {
+
+using mpisim::Comm;
+using mpisim::Datatype;
+using testutil::RunRanks;
+
+class ScatterSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, ScatterSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST_P(ScatterSweep, ScatterDistributesBlocksFromEveryRoot) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    for (int root = 0; root < std::min(p, 3); ++root) {
+      std::vector<std::int64_t> send;
+      if (world.Rank() == root) {
+        for (int r = 0; r < p; ++r) {
+          send.push_back(r * 10);
+          send.push_back(r * 10 + 1);
+        }
+      }
+      std::int64_t recv[2] = {-1, -1};
+      mpisim::Scatter(send.data(), 2, Datatype::kInt64, recv, root, world);
+      EXPECT_EQ(recv[0], world.Rank() * 10);
+      EXPECT_EQ(recv[1], world.Rank() * 10 + 1);
+    }
+  });
+}
+
+TEST_P(ScatterSweep, ScattervDistributesVariableBlocks) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(r % 3 + 1);
+      displs.push_back(total);
+      total += r % 3 + 1;
+    }
+    std::vector<double> send;
+    if (world.Rank() == 0) {
+      send.resize(static_cast<std::size_t>(total));
+      for (int r = 0; r < p; ++r) {
+        for (int i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+          send[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + i)] =
+              r + i * 0.1;
+        }
+      }
+    }
+    const int mine_n = counts[static_cast<std::size_t>(world.Rank())];
+    std::vector<double> recv(static_cast<std::size_t>(mine_n), -1.0);
+    mpisim::Scatterv(send.data(), counts, displs, Datatype::kFloat64,
+                     recv.data(), mine_n, 0, world);
+    for (int i = 0; i < mine_n; ++i) {
+      EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(i)],
+                       world.Rank() + i * 0.1);
+    }
+  });
+}
+
+TEST(Scatterv, RoundTripsWithGatherv) {
+  constexpr int kP = 7;
+  RunRanks(kP, [](Comm& world) {
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < kP; ++r) {
+      counts.push_back(r + 1);
+      displs.push_back(total);
+      total += r + 1;
+    }
+    std::vector<std::int64_t> original;
+    if (world.Rank() == 0) {
+      for (int i = 0; i < total; ++i) original.push_back(i * 3);
+    }
+    const int mine_n = counts[static_cast<std::size_t>(world.Rank())];
+    std::vector<std::int64_t> mine(static_cast<std::size_t>(mine_n));
+    mpisim::Scatterv(original.data(), counts, displs, Datatype::kInt64,
+                     mine.data(), mine_n, 0, world);
+    std::vector<std::int64_t> back(
+        world.Rank() == 0 ? static_cast<std::size_t>(total) : 0);
+    mpisim::Gatherv(mine.data(), mine_n, Datatype::kInt64, back.data(),
+                    counts, displs, 0, world);
+    if (world.Rank() == 0) {
+      EXPECT_EQ(back, original);
+    }
+  });
+}
+
+TEST(Scatterv, TooSmallReceiveBufferThrows) {
+  EXPECT_THROW(
+      RunRanks(2,
+               [](Comm& world) {
+                 const std::vector<int> counts{2, 2}, displs{0, 2};
+                 const std::vector<double> send{1, 2, 3, 4};
+                 double recv[1];
+                 mpisim::Scatterv(send.data(), counts, displs,
+                                  Datatype::kFloat64, recv, 1, 0, world);
+               }),
+      mpisim::UsageError);
+}
+
+TEST(Sendrecv, PairwiseExchangeDoesNotDeadlock) {
+  RunRanks(6, [](Comm& world) {
+    const int peer = world.Rank() ^ 1;
+    const std::int64_t out = world.Rank() * 11;
+    std::int64_t in = -1;
+    mpisim::Status st;
+    mpisim::Sendrecv(&out, 1, Datatype::kInt64, peer, 4, &in, 1,
+                     Datatype::kInt64, peer, 4, world, &st);
+    EXPECT_EQ(in, peer * 11);
+    EXPECT_EQ(st.source, peer);
+  });
+}
+
+TEST(Sendrecv, RingShiftMovesDataAround) {
+  constexpr int kP = 5;
+  RunRanks(kP, [](Comm& world) {
+    const int right = (world.Rank() + 1) % kP;
+    const int left = (world.Rank() - 1 + kP) % kP;
+    std::int64_t token = world.Rank();
+    // kP shifts bring every token back home.
+    for (int i = 0; i < kP; ++i) {
+      std::int64_t incoming = -1;
+      mpisim::Sendrecv(&token, 1, Datatype::kInt64, right, 9, &incoming, 1,
+                       Datatype::kInt64, left, 9, world);
+      token = incoming;
+    }
+    EXPECT_EQ(token, world.Rank());
+  });
+}
+
+}  // namespace

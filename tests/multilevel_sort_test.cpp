@@ -1,0 +1,124 @@
+// Multi-level sample sort (Section IV): correctness over (p, k, n/p,
+// input) grids and the startup-count compromise vs single-level sample
+// sort.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sort/checks.hpp"
+#include "sort/multilevel_sort.hpp"
+#include "sort/sample_sort.hpp"
+#include "sort/workload.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+using jsort::InputKind;
+using jsort::MultilevelConfig;
+using testutil::RunRanks;
+
+std::shared_ptr<jsort::Transport> RbcTransportOf(mpisim::Comm& world) {
+  rbc::Comm rw;
+  rbc::Create_RBC_Comm(world, &rw);
+  return jsort::MakeRbcTransport(rw);
+}
+
+class MlSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, InputKind>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MlSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 12, 16),  // p
+                       ::testing::Values(2, 3, 4),                // k
+                       ::testing::Values(4, 64),                  // n/p
+                       ::testing::Values(InputKind::kUniform,
+                                         InputKind::kAllEqual,
+                                         InputKind::kZipf)));
+
+TEST_P(MlSweep, SortsCorrectly) {
+  const auto [p, k, quota, kind] = GetParam();
+  RunRanks(p, [&, p = p, k = k, quota = quota, kind = kind](
+                  mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    auto input = jsort::GenerateInput(kind, world.Rank(), p, quota, 61);
+    const auto before = jsort::GlobalFingerprint(input, rw);
+    auto tr = RbcTransportOf(world);
+    MultilevelConfig cfg;
+    cfg.k = k;
+    const auto out = jsort::MultilevelSampleSort(tr, std::move(input), cfg);
+    EXPECT_EQ(before, jsort::GlobalFingerprint(out, rw));
+    EXPECT_TRUE(jsort::IsGloballySorted(out, rw));
+  });
+}
+
+TEST(Multilevel, LevelCountIsLogK) {
+  constexpr int kP = 16;
+  RunRanks(kP, [](mpisim::Comm& world) {
+    auto tr = RbcTransportOf(world);
+    auto input = jsort::GenerateInput(InputKind::kUniform, world.Rank(), kP,
+                                      64, 3);
+    jsort::MultilevelStats stats;
+    MultilevelConfig cfg;
+    cfg.k = 4;
+    jsort::MultilevelSampleSort(tr, std::move(input), cfg, &stats);
+    EXPECT_EQ(stats.levels, 2);  // log_4(16)
+  });
+}
+
+TEST(Multilevel, FewerStartupsThanSingleLevelForSmallK) {
+  // Section IV: single-level sample sort sends p-1 messages per rank;
+  // k-way multilevel sends ~k * log_k(p), far fewer for small k.
+  constexpr int kP = 16;
+  RunRanks(kP, [](mpisim::Comm& world) {
+    auto input1 = jsort::GenerateInput(InputKind::kUniform, world.Rank(),
+                                       kP, 128, 5);
+    auto input2 = input1;
+    {
+      auto tr = RbcTransportOf(world);
+      jsort::SampleSortStats single;
+      jsort::SampleSort(tr, std::move(input1), {}, &single);
+      auto tr2 = RbcTransportOf(world);
+      jsort::MultilevelStats multi;
+      MultilevelConfig cfg;
+      cfg.k = 2;
+      jsort::MultilevelSampleSort(tr2, std::move(input2), cfg, &multi);
+      EXPECT_EQ(single.messages_sent, kP - 1);
+      EXPECT_LE(multi.messages_sent, 2 * 4);  // k * log_k(p) = 2 * 4
+      EXPECT_LT(multi.messages_sent, single.messages_sent);
+    }
+  });
+}
+
+TEST(Multilevel, KLargerThanPFallsBackToSingleLevel) {
+  constexpr int kP = 5;
+  RunRanks(kP, [](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    auto tr = RbcTransportOf(world);
+    auto input = jsort::GenerateInput(InputKind::kGaussian, world.Rank(),
+                                      kP, 32, 9);
+    const auto before = jsort::GlobalFingerprint(input, rw);
+    jsort::MultilevelStats stats;
+    MultilevelConfig cfg;
+    cfg.k = 64;  // clamped to p per level
+    const auto out =
+        jsort::MultilevelSampleSort(tr, std::move(input), cfg, &stats);
+    EXPECT_EQ(before, jsort::GlobalFingerprint(out, rw));
+    EXPECT_TRUE(jsort::IsGloballySorted(out, rw));
+  });
+}
+
+TEST(Multilevel, RejectsInvalidK) {
+  EXPECT_THROW(RunRanks(2,
+                        [](mpisim::Comm& world) {
+                          auto tr = RbcTransportOf(world);
+                          MultilevelConfig cfg;
+                          cfg.k = 1;
+                          jsort::MultilevelSampleSort(tr, {1.0}, cfg);
+                        }),
+               mpisim::UsageError);
+}
+
+}  // namespace

@@ -1,0 +1,235 @@
+// RBC collectives (blocking and nonblocking) over full ranges, sub-ranges
+// and strided ranges, swept over process counts.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "testutil.hpp"
+
+namespace {
+
+using rbc::Datatype;
+using rbc::ReduceOp;
+using testutil::RunRanks;
+using testutil::RunRbc;
+
+class RbcCollSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, RbcCollSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 9, 16));
+
+TEST_P(RbcCollSweep, BcastFromEveryRoot) {
+  const int p = GetParam();
+  RunRbc(p, [p](rbc::Comm& rw) {
+    for (int root = 0; root < p; ++root) {
+      std::int64_t v = rw.Rank() == root ? root + 50 : -1;
+      rbc::Bcast(&v, 1, Datatype::kInt64, root, rw);
+      EXPECT_EQ(v, root + 50);
+    }
+  });
+}
+
+TEST_P(RbcCollSweep, ReduceSums) {
+  const int p = GetParam();
+  RunRbc(p, [p](rbc::Comm& rw) {
+    const std::int64_t mine = rw.Rank() + 1;
+    std::int64_t out = 0;
+    rbc::Reduce(&mine, &out, 1, Datatype::kInt64, ReduceOp::kSum, 0, rw);
+    if (rw.Rank() == 0) {
+      EXPECT_EQ(out, static_cast<std::int64_t>(p) * (p + 1) / 2);
+    }
+  });
+}
+
+TEST_P(RbcCollSweep, ScanComputesInclusivePrefix) {
+  const int p = GetParam();
+  RunRbc(p, [](rbc::Comm& rw) {
+    const std::int64_t mine[2] = {rw.Rank() + 1, 2};
+    std::int64_t out[2] = {0, 0};
+    rbc::Scan(mine, out, 2, Datatype::kInt64, ReduceOp::kSum, rw);
+    const std::int64_t k = rw.Rank() + 1;
+    EXPECT_EQ(out[0], k * (k + 1) / 2);
+    EXPECT_EQ(out[1], 2 * k);
+  });
+}
+
+TEST_P(RbcCollSweep, GatherCollectsInRankOrder) {
+  const int p = GetParam();
+  RunRbc(p, [p](rbc::Comm& rw) {
+    const double mine = rw.Rank() * 1.5;
+    std::vector<double> all(static_cast<std::size_t>(p), -1);
+    rbc::Gather(&mine, 1, Datatype::kFloat64, all.data(), 0, rw);
+    if (rw.Rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)], r * 1.5);
+      }
+    }
+  });
+}
+
+TEST_P(RbcCollSweep, GathervCollectsVariableBlocks) {
+  const int p = GetParam();
+  RunRbc(p, [p](rbc::Comm& rw) {
+    const int mine_n = rw.Rank() % 4 + 1;
+    std::vector<double> mine(static_cast<std::size_t>(mine_n),
+                             static_cast<double>(rw.Rank()));
+    std::vector<int> counts, displs;
+    int total = 0;
+    for (int r = 0; r < p; ++r) {
+      counts.push_back(r % 4 + 1);
+      displs.push_back(total);
+      total += r % 4 + 1;
+    }
+    std::vector<double> all(static_cast<std::size_t>(total), -1.0);
+    rbc::Gatherv(mine.data(), mine_n, Datatype::kFloat64, all.data(), counts,
+                 displs, 0, rw);
+    if (rw.Rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        for (int i = 0; i < counts[static_cast<std::size_t>(r)]; ++i) {
+          EXPECT_DOUBLE_EQ(
+              all[static_cast<std::size_t>(displs[static_cast<std::size_t>(r)] + i)],
+              static_cast<double>(r));
+        }
+      }
+    }
+  });
+}
+
+TEST_P(RbcCollSweep, BarrierCompletes) {
+  const int p = GetParam();
+  RunRbc(p, [](rbc::Comm& rw) {
+    for (int i = 0; i < 3; ++i) rbc::Barrier(rw);
+  });
+}
+
+TEST_P(RbcCollSweep, NonblockingFormsComplete) {
+  const int p = GetParam();
+  RunRbc(p, [p](rbc::Comm& rw) {
+    std::int64_t b = rw.Rank() == 0 ? 5 : -1;
+    std::int64_t red_in = rw.Rank() + 1, red_out = 0;
+    std::int64_t scan_in = 1, scan_out = 0;
+    rbc::Request rb, rr, rs, rbar;
+    rbc::Ibcast(&b, 1, Datatype::kInt64, 0, rw, &rb);
+    rbc::Ireduce(&red_in, &red_out, 1, Datatype::kInt64, ReduceOp::kSum, 0,
+                 rw, &rr);
+    rbc::Iscan(&scan_in, &scan_out, 1, Datatype::kInt64, ReduceOp::kSum, rw,
+               &rs);
+    rbc::Ibarrier(rw, &rbar);
+    std::vector<rbc::Request> reqs{rb, rr, rs, rbar};
+    rbc::Waitall(reqs);
+    EXPECT_EQ(b, 5);
+    if (rw.Rank() == 0) {
+      EXPECT_EQ(red_out, static_cast<std::int64_t>(p) * (p + 1) / 2);
+    }
+    EXPECT_EQ(scan_out, rw.Rank() + 1);
+  });
+}
+
+TEST(RbcColl, CollectiveOnSubRangeLeavesOthersUntouched) {
+  RunRanks(8, [](mpisim::Comm& world) {
+    rbc::Comm rw, mid;
+    rbc::Create_RBC_Comm(world, &rw);
+    rbc::Split_RBC_Comm(rw, 2, 5, &mid);
+    if (world.Rank() >= 2 && world.Rank() <= 5) {
+      std::int64_t v = mid.Rank() == 0 ? 123 : -1;
+      rbc::Bcast(&v, 1, Datatype::kInt64, 0, mid);
+      EXPECT_EQ(v, 123);
+    }
+    mpisim::Barrier(world);
+    // No stray messages may remain anywhere.
+    EXPECT_EQ(mpisim::Ctx().runtime->MailboxOf(world.Rank()).QueuedMessages(),
+              0u);
+  });
+}
+
+TEST(RbcColl, SimultaneousCollectivesOnDisjointHalves) {
+  RunRanks(8, [](mpisim::Comm& world) {
+    rbc::Comm rw, half;
+    rbc::Create_RBC_Comm(world, &rw);
+    const bool low = world.Rank() < 4;
+    rbc::Split_RBC_Comm(rw, low ? 0 : 4, low ? 3 : 7, &half);
+    std::int64_t sum = 0;
+    const std::int64_t mine = world.Rank();
+    rbc::Reduce(&mine, &sum, 1, Datatype::kInt64, ReduceOp::kSum, 0, half);
+    rbc::Bcast(&sum, 1, Datatype::kInt64, 0, half);
+    EXPECT_EQ(sum, low ? 0 + 1 + 2 + 3 : 4 + 5 + 6 + 7);
+  });
+}
+
+TEST(RbcColl, SimultaneousNonblockingCollectivesWithUserTags) {
+  // Two nonblocking broadcasts in flight on the SAME communicator,
+  // distinguished by user-supplied tags (the paper's Ibcast tag
+  // parameter).
+  RunRbc(6, [](rbc::Comm& rw) {
+    std::int64_t a = rw.Rank() == 0 ? 1 : -1;
+    std::int64_t b = rw.Rank() == 0 ? 2 : -1;
+    rbc::Request ra, rrb;
+    rbc::Ibcast(&a, 1, Datatype::kInt64, 0, rw, &ra, 100);
+    rbc::Ibcast(&b, 1, Datatype::kInt64, 0, rw, &rrb, 200);
+    std::vector<rbc::Request> reqs{ra, rrb};
+    rbc::Waitall(reqs);
+    EXPECT_EQ(a, 1);
+    EXPECT_EQ(b, 2);
+  });
+}
+
+TEST(RbcColl, CollectivesOnStridedRange) {
+  RunRanks(8, [](mpisim::Comm& world) {
+    rbc::Comm rw, even;
+    rbc::Create_RBC_Comm(world, &rw);
+    rbc::Split_RBC_Comm_Strided(rw, 0, 7, 2, &even);
+    if (world.Rank() % 2 == 0) {
+      std::int64_t sum = 0;
+      const std::int64_t mine = world.Rank();
+      rbc::Reduce(&mine, &sum, 1, Datatype::kInt64, ReduceOp::kSum, 0, even);
+      if (even.Rank() == 0) {
+        EXPECT_EQ(sum, 0 + 2 + 4 + 6);
+      }
+    }
+  });
+}
+
+TEST(RbcColl, OverlappingRangesConcurrentCollectivesOneSharedRank) {
+  // The janus pattern: rank 3 is in {0..3} and {3..6}; both groups run a
+  // nonblocking reduce simultaneously and rank 3 progresses both.
+  RunRanks(7, [](mpisim::Comm& world) {
+    rbc::Comm rw, left, right;
+    rbc::Create_RBC_Comm(world, &rw);
+    rbc::Split_RBC_Comm(rw, 0, 3, &left);
+    rbc::Split_RBC_Comm(rw, 3, 6, &right);
+    const std::int64_t mine = world.Rank();
+    std::int64_t lsum = 0, rsum = 0;
+    std::vector<rbc::Request> reqs;
+    if (left.Rank() >= 0) {
+      rbc::Request r;
+      rbc::Ireduce(&mine, &lsum, 1, Datatype::kInt64, ReduceOp::kSum, 0,
+                   left, &r);
+      reqs.push_back(r);
+    }
+    if (right.Rank() >= 0) {
+      rbc::Request r;
+      rbc::Ireduce(&mine, &rsum, 1, Datatype::kInt64, ReduceOp::kSum, 0,
+                   right, &r);
+      reqs.push_back(r);
+    }
+    rbc::Waitall(reqs);
+    if (world.Rank() == 0) {
+      EXPECT_EQ(lsum, 0 + 1 + 2 + 3);
+    }
+    if (world.Rank() == 3) {
+      EXPECT_EQ(rsum, 3 + 4 + 5 + 6);
+    }
+  });
+}
+
+TEST(RbcColl, LargePayloadBcast) {
+  RunRbc(5, [](rbc::Comm& rw) {
+    std::vector<double> v(4096, rw.Rank() == 2 ? 1.25 : 0.0);
+    rbc::Bcast(v.data(), 4096, Datatype::kFloat64, 2, rw);
+    EXPECT_DOUBLE_EQ(v.front(), 1.25);
+    EXPECT_DOUBLE_EQ(v.back(), 1.25);
+  });
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// RBC communicator creation: locality, constant cost, rank translation,
+// strided ranges, nesting.
+#include <gtest/gtest.h>
+
+#include "testutil.hpp"
+
+namespace {
+
+using testutil::RunRanks;
+
+TEST(RbcComm, CreateCoversWholeMpiComm) {
+  RunRanks(5, [](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    int rank = -1, size = -1;
+    rbc::Comm_rank(rw, &rank);
+    rbc::Comm_size(rw, &size);
+    EXPECT_EQ(rank, world.Rank());
+    EXPECT_EQ(size, 5);
+    EXPECT_EQ(rw.First(), 0);
+    EXPECT_EQ(rw.Last(), 4);
+  });
+}
+
+TEST(RbcComm, SplitIsLocalAndSendsZeroMessages) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = 8});
+  rt.Run([&rt](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    mpisim::Barrier(world);
+    rt.ResetClocksAndStats();
+    // Every rank creates ten nested communicators; none may communicate.
+    rbc::Comm cur = rw;
+    for (int i = 0; i < 10 && cur.Size() > 1; ++i) {
+      rbc::Comm sub;
+      rbc::Split_RBC_Comm(cur, 0, cur.Size() - 1, &sub);
+      cur = sub;
+    }
+    EXPECT_EQ(mpisim::Ctx().stats.messages_sent, 0u);
+    EXPECT_EQ(mpisim::Ctx().clock.Now(), 0.0);  // zero model time too
+  });
+}
+
+TEST(RbcComm, AnyProcessMayConstructAnyRange) {
+  // Unlike MPI, a process may build a handle for a range it is not in.
+  RunRanks(4, [](mpisim::Comm& world) {
+    rbc::Comm rw, other_half;
+    rbc::Create_RBC_Comm(world, &rw);
+    const bool low = world.Rank() < 2;
+    rbc::Split_RBC_Comm(rw, low ? 2 : 0, low ? 3 : 1, &other_half);
+    EXPECT_EQ(other_half.Size(), 2);
+    EXPECT_EQ(other_half.Rank(), -1);  // not a member
+  });
+}
+
+TEST(RbcComm, SplitTranslatesRanks) {
+  RunRanks(6, [](mpisim::Comm& world) {
+    rbc::Comm rw, mid;
+    rbc::Create_RBC_Comm(world, &rw);
+    rbc::Split_RBC_Comm(rw, 2, 4, &mid);
+    EXPECT_EQ(mid.Size(), 3);
+    EXPECT_EQ(mid.ToMpi(0), 2);
+    EXPECT_EQ(mid.ToMpi(2), 4);
+    EXPECT_EQ(mid.FromMpi(3), 1);
+    EXPECT_EQ(mid.FromMpi(5), -1);
+    if (world.Rank() >= 2 && world.Rank() <= 4) {
+      EXPECT_EQ(mid.Rank(), world.Rank() - 2);
+    } else {
+      EXPECT_EQ(mid.Rank(), -1);
+    }
+  });
+}
+
+TEST(RbcComm, NestedSplitsCompose) {
+  RunRanks(8, [](mpisim::Comm& world) {
+    rbc::Comm rw, right, inner;
+    rbc::Create_RBC_Comm(world, &rw);
+    rbc::Split_RBC_Comm(rw, 4, 7, &right);    // MPI ranks 4..7
+    rbc::Split_RBC_Comm(right, 1, 2, &inner); // MPI ranks 5..6
+    EXPECT_EQ(inner.Size(), 2);
+    EXPECT_EQ(inner.ToMpi(0), 5);
+    EXPECT_EQ(inner.ToMpi(1), 6);
+  });
+}
+
+TEST(RbcComm, StridedRangeSelectsEveryOther) {
+  RunRanks(8, [](mpisim::Comm& world) {
+    rbc::Comm rw, even;
+    rbc::Create_RBC_Comm(world, &rw);
+    rbc::Split_RBC_Comm_Strided(rw, 0, 7, 2, &even);  // 0,2,4,6
+    EXPECT_EQ(even.Size(), 4);
+    EXPECT_EQ(even.ToMpi(3), 6);
+    EXPECT_EQ(even.FromMpi(4), 2);
+    EXPECT_EQ(even.FromMpi(3), -1);
+    if (world.Rank() % 2 == 0) {
+      EXPECT_EQ(even.Rank(), world.Rank() / 2);
+    } else {
+      EXPECT_EQ(even.Rank(), -1);
+    }
+  });
+}
+
+TEST(RbcComm, StridedSplitOfStridedRangeComposes) {
+  RunRanks(16, [](mpisim::Comm& world) {
+    rbc::Comm rw, even, fourth;
+    rbc::Create_RBC_Comm(world, &rw);
+    rbc::Split_RBC_Comm_Strided(rw, 0, 15, 2, &even);     // 0,2,..,14
+    rbc::Split_RBC_Comm_Strided(even, 0, 7, 2, &fourth);  // 0,4,8,12
+    EXPECT_EQ(fourth.Size(), 4);
+    EXPECT_EQ(fourth.ToMpi(1), 4);
+    EXPECT_EQ(fourth.ToMpi(3), 12);
+    EXPECT_EQ(fourth.Stride(), 4);
+  });
+}
+
+TEST(RbcComm, InvalidRangesThrow) {
+  RunRanks(4, [](mpisim::Comm& world) {
+    rbc::Comm rw, out;
+    rbc::Create_RBC_Comm(world, &rw);
+    EXPECT_THROW(rbc::Split_RBC_Comm(rw, 2, 1, &out), mpisim::UsageError);
+    EXPECT_THROW(rbc::Split_RBC_Comm(rw, 0, 4, &out), mpisim::UsageError);
+    EXPECT_THROW(rbc::Split_RBC_Comm(rw, -1, 2, &out), mpisim::UsageError);
+    EXPECT_THROW(rbc::Split_RBC_Comm_Strided(rw, 0, 3, 0, &out),
+                 mpisim::UsageError);
+  });
+}
+
+TEST(RbcComm, CollectivesWorkOnBothHalvesSimultaneously) {
+  // The paper's Figure 1: two locally created halves broadcast at once.
+  RunRanks(6, [](mpisim::Comm& world) {
+    rbc::Comm rw, range;
+    rbc::Create_RBC_Comm(world, &rw);
+    int r = 0, s = 0;
+    rbc::Comm_rank(rw, &r);
+    rbc::Comm_size(rw, &s);
+    const int f = r < s / 2 ? 0 : s / 2;
+    const int l = r < s / 2 ? s / 2 - 1 : s - 1;
+    rbc::Split_RBC_Comm(rw, f, l, &range);
+    int e = range.Rank() == 0 ? f : -1;
+    rbc::Request req;
+    rbc::Ibcast(&e, 1, rbc::Datatype::kInt32, 0, range, &req);
+    int flag = 0;
+    while (!flag) rbc::Test(&req, &flag, nullptr);
+    EXPECT_EQ(e, f);
+  });
+}
+
+}  // namespace
