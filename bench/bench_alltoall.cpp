@@ -1,0 +1,112 @@
+// All-to-all exchange benchmark: rbc::Alltoallv vs mpisim::Alltoallv on
+// uniform personalized exchanges, and the jsort::exchange segment paths
+// (dense Alltoallv vs coalesced) on a skewed neighbour-rotation
+// redistribution.
+//
+// Output is machine-readable JSON (one top-level array of measurement
+// objects) so the results can accumulate into the BENCH_*.json perf
+// trajectory:
+//   ./bench_alltoall > BENCH_alltoall.json
+#include <cstdio>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "rbc/rbc.hpp"
+#include "sort/exchange.hpp"
+
+namespace {
+
+constexpr int kReps = 5;
+
+bool first_row = true;
+
+void EmitRow(const char* bench, const char* backend, int p, long long count,
+             const benchutil::Measurement& m) {
+  std::printf("%s\n  {\"bench\": \"%s\", \"backend\": \"%s\", \"p\": %d, "
+              "\"count\": %lld, \"vtime\": %.6f, \"wall_ms\": %.4f}",
+              first_row ? "" : ",", bench, backend, p, count, m.vtime,
+              m.wall_ms);
+  first_row = false;
+}
+
+/// Uniform personalized exchange: every rank sends `count` elements to
+/// every peer, RBC schedule vs the substrate's native implementation.
+void UniformSweep(int p) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
+  rt.Run([p](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    for (int count : {1, 16, 256, 4096}) {
+      std::vector<double> send(static_cast<std::size_t>(count) *
+                                   static_cast<std::size_t>(p),
+                               1.0);
+      std::vector<double> recv(send.size(), 0.0);
+      std::vector<int> counts(static_cast<std::size_t>(p), count),
+          displs(static_cast<std::size_t>(p));
+      for (int i = 0; i < p; ++i) {
+        displs[static_cast<std::size_t>(i)] = i * count;
+      }
+      const auto mpi = benchutil::MeasureOnRanks(world, kReps, [&] {
+        mpisim::Alltoallv(send.data(), counts, displs,
+                          mpisim::Datatype::kFloat64, recv.data(), counts,
+                          displs, world);
+      });
+      const auto rbcm = benchutil::MeasureOnRanks(world, kReps, [&] {
+        rbc::Alltoallv(send.data(), counts, displs, rbc::Datatype::kFloat64,
+                       recv.data(), counts, displs, rw);
+      });
+      if (world.Rank() == 0) {
+        EmitRow("alltoallv_uniform", "mpi", p, count, mpi);
+        EmitRow("alltoallv_uniform", "rbc", p, count, rbcm);
+      }
+    }
+  });
+}
+
+/// Skewed redistribution: every rank's elements all belong to one
+/// neighbour (the jquick-style sparse pattern), via both exchange paths.
+void SkewSweep(int p) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
+  rt.Run([p](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    auto tr = jsort::MakeRbcTransport(rw);
+    const int me = tr->Rank();
+    for (int cap : {16, 1024}) {
+      const jsort::CapacityLayout layout{
+          .p = p, .quota = cap, .cap_first = cap, .cap_last = cap};
+      const int owner = (me + 1) % p;
+      const std::int64_t begin = layout.PrefixBefore(owner);
+      std::vector<double> data(static_cast<std::size_t>(cap), 1.0);
+      for (auto mode : {jsort::exchange::Mode::kAlltoallv,
+                        jsort::exchange::Mode::kCoalesced}) {
+        const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+          std::vector<double> sink;
+          std::vector<jsort::exchange::Segment> segs(1);
+          segs[0] = jsort::exchange::Segment{data.data(), cap, begin, &sink,
+                                             cap};
+          jsort::Poll poll = jsort::exchange::StartSegmentExchange(
+              tr, layout, std::move(segs), 19, mode);
+          while (!poll()) {
+          }
+        });
+        if (world.Rank() == 0) {
+          EmitRow("segment_exchange_skewed",
+                  mode == jsort::exchange::Mode::kAlltoallv ? "dense"
+                                                            : "coalesced",
+                  p, cap, m);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("[");
+  for (int p : {4, 8, 16, 32}) UniformSweep(p);
+  for (int p : {8, 16, 32}) SkewSweep(p);
+  std::printf("\n]\n");
+  return 0;
+}

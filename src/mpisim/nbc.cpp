@@ -422,6 +422,61 @@ class IbarrierSM final : public RequestImpl {
   IReduceBcastChain chain_;
 };
 
+/// Spread-out personalized all-to-all: all sends are injected eagerly at
+/// start (mirroring the blocking Alltoallv), all receives posted up front;
+/// Test drains the receives. Zero-count blocks are still transmitted.
+class IalltoallvSM final : public RequestImpl {
+ public:
+  IalltoallvSM(const void* send, std::span<const int> sendcounts,
+               std::span<const int> sdispls, Datatype dt, void* recv,
+               std::span<const int> recvcounts, std::span<const int> rdispls,
+               Comm comm, int tag)
+      : comm_(std::move(comm)) {
+    const int p = comm_.Size();
+    const int rank = comm_.Rank();
+    if (static_cast<int>(sendcounts.size()) != p ||
+        static_cast<int>(sdispls.size()) != p ||
+        static_cast<int>(recvcounts.size()) != p ||
+        static_cast<int>(rdispls.size()) != p) {
+      throw UsageError(
+          "Ialltoallv: count/displacement arrays must have Size() entries");
+    }
+    const std::size_t esize = SizeOf(dt);
+    const auto* in = static_cast<const std::byte*>(send);
+    auto* out = static_cast<std::byte*>(recv);
+    // Self copy first.
+    const std::size_t self =
+        Bytes(sendcounts[static_cast<std::size_t>(rank)], dt);
+    if (self != 0) {
+      std::memcpy(out + static_cast<std::size_t>(
+                            rdispls[static_cast<std::size_t>(rank)]) * esize,
+                  in + static_cast<std::size_t>(
+                           sdispls[static_cast<std::size_t>(rank)]) * esize,
+                  self);
+    }
+    for (int off = 1; off < p; ++off) {
+      const int dest = (rank + off) % p;
+      const auto di = static_cast<std::size_t>(dest);
+      SendOnChannel(in + static_cast<std::size_t>(sdispls[di]) * esize,
+                    sendcounts[di], dt, dest, tag, comm_, kCh);
+    }
+    recvs_.reserve(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
+    for (int off = 1; off < p; ++off) {
+      const int src = (rank - off + p) % p;
+      const auto si = static_cast<std::size_t>(src);
+      recvs_.push_back(
+          IrecvOnChannel(out + static_cast<std::size_t>(rdispls[si]) * esize,
+                         recvcounts[si], dt, src, tag, comm_, kCh));
+    }
+  }
+
+  bool Test(Status*) override { return Testall(std::span<Request>(recvs_)); }
+
+ private:
+  Comm comm_;
+  std::vector<Request> recvs_;
+};
+
 int NextTagPair(const Comm& comm) {
   // Chained operations (allreduce, barrier) consume two tag values so the
   // reduce and broadcast halves never share a (source, tag) pair.
@@ -486,6 +541,29 @@ Request Ibarrier(const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Ibarrier: null communicator");
   return Request(
       std::make_shared<detail::IbarrierSM>(comm, detail::NextTagPair(comm)));
+}
+
+Request Ialltoall(const void* send, int count, Datatype dt, void* recv,
+                  const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Ialltoall: null communicator");
+  if (count < 0) throw UsageError("Ialltoall: negative count");
+  const int p = comm.Size();
+  std::vector<int> counts(static_cast<std::size_t>(p), count);
+  std::vector<int> displs(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * count;
+  return Request(std::make_shared<detail::IalltoallvSM>(
+      send, counts, displs, dt, recv, counts, displs, comm,
+      2 * comm.NextNbcTag()));
+}
+
+Request Ialltoallv(const void* send, std::span<const int> sendcounts,
+                   std::span<const int> sdispls, Datatype dt, void* recv,
+                   std::span<const int> recvcounts,
+                   std::span<const int> rdispls, const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Ialltoallv: null communicator");
+  return Request(std::make_shared<detail::IalltoallvSM>(
+      send, sendcounts, sdispls, dt, recv, recvcounts, rdispls, comm,
+      2 * comm.NextNbcTag()));
 }
 
 }  // namespace mpisim

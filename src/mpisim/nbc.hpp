@@ -49,6 +49,20 @@ Request Igatherv(const void* send, int count, Datatype dt, void* recv,
 /// Nonblocking barrier (reduce + broadcast of an empty token).
 Request Ibarrier(const Comm& comm);
 
+/// Nonblocking personalized all-to-all with uniform block size. Send and
+/// receive buffers hold Size()*count elements, ordered by rank.
+Request Ialltoall(const void* send, int count, Datatype dt, void* recv,
+                  const Comm& comm);
+
+/// Nonblocking personalized all-to-all with per-peer counts/displacements
+/// (elements; all arrays sized Size() and significant on every rank). The
+/// count arrays are copied at call time; only the data buffers must stay
+/// alive until completion.
+Request Ialltoallv(const void* send, std::span<const int> sendcounts,
+                   std::span<const int> sdispls, Datatype dt, void* recv,
+                   std::span<const int> recvcounts,
+                   std::span<const int> rdispls, const Comm& comm);
+
 namespace detail {
 
 /// Binomial-tree topology relative to `root`, shared by the state machines.

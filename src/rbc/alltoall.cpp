@@ -1,0 +1,183 @@
+// rbc::Alltoall / rbc::Alltoallv -- personalized all-to-all exchange over
+// an RBC range (extension beyond Table I, Section V-D construction).
+//
+// The nonblocking form is a round-based state machine progressed by
+// rbc::Test. Round r pairs the caller with one partner:
+//  * power-of-two ranges: hypercube pairing, partner = rank XOR r -- every
+//    round is a perfect matching of the range;
+//  * general ranges: 1-factorization of the complete graph, partner =
+//    (r - rank) mod p -- an involution for every p, with at most two fixed
+//    points per round (a fixed point is the caller's own block, handled by
+//    a local copy before round 0).
+// Each ordered rank pair exchanges exactly one message per operation, so a
+// single reserved tag suffices; per-envelope FIFO order disambiguates
+// back-to-back operations on the same tag. Sends are eager, so a round
+// posts its send, then parks on the matching receive -- faster ranks run
+// ahead of slower partners without deadlock.
+#include <cstring>
+
+#include "rbc/collectives.hpp"
+#include "rbc/sm.hpp"
+
+namespace rbc {
+namespace detail {
+namespace {
+
+class AlltoallvSM final : public RequestImpl {
+ public:
+  AlltoallvSM(const void* send, std::span<const int> sendcounts,
+              std::span<const int> sdispls, Datatype dt, void* recv,
+              std::span<const int> recvcounts, std::span<const int> rdispls,
+              Comm comm, int tag)
+      : send_(static_cast<const std::byte*>(send)),
+        recv_(static_cast<std::byte*>(recv)),
+        sendcounts_(sendcounts.begin(), sendcounts.end()),
+        sdispls_(sdispls.begin(), sdispls.end()),
+        recvcounts_(recvcounts.begin(), recvcounts.end()),
+        rdispls_(rdispls.begin(), rdispls.end()), dt_(dt),
+        comm_(std::move(comm)), tag_(tag) {
+    const int p = comm_.Size();
+    const int rank = comm_.Rank();
+    if (static_cast<int>(sendcounts_.size()) != p ||
+        static_cast<int>(sdispls_.size()) != p ||
+        static_cast<int>(recvcounts_.size()) != p ||
+        static_cast<int>(rdispls_.size()) != p) {
+      throw mpisim::UsageError(
+          "rbc::Alltoallv: count/displacement arrays must have Size() "
+          "entries");
+    }
+    for (int i = 0; i < p; ++i) {
+      if (sendcounts_[static_cast<std::size_t>(i)] < 0 ||
+          recvcounts_[static_cast<std::size_t>(i)] < 0) {
+        throw mpisim::UsageError("rbc::Alltoallv: negative count");
+      }
+    }
+    pow2_ = (p & (p - 1)) == 0;
+    // Own block: local copy, no message.
+    const std::size_t esize = mpisim::SizeOf(dt_);
+    const std::size_t self =
+        static_cast<std::size_t>(sendcounts_[static_cast<std::size_t>(rank)]) *
+        esize;
+    if (self != 0) {
+      std::memcpy(
+          recv_ + static_cast<std::size_t>(
+                      rdispls_[static_cast<std::size_t>(rank)]) * esize,
+          send_ + static_cast<std::size_t>(
+                      sdispls_[static_cast<std::size_t>(rank)]) * esize,
+          self);
+    }
+    AdvanceRounds();
+  }
+
+  bool Test(Status*) override {
+    if (done_) return true;
+    if (!pending_.Poll()) return false;
+    ++round_;
+    AdvanceRounds();
+    return done_;
+  }
+
+ private:
+  int Partner(int r) const {
+    const int p = comm_.Size();
+    const int rank = comm_.Rank();
+    return pow2_ ? (rank ^ r) : ((r - rank) % p + p) % p;
+  }
+
+  void AdvanceRounds() {
+    const int p = comm_.Size();
+    const std::size_t esize = mpisim::SizeOf(dt_);
+    while (round_ < p) {
+      const int partner = Partner(round_);
+      if (partner == comm_.Rank()) {  // fixed point: own block, done above
+        ++round_;
+        continue;
+      }
+      const auto pi = static_cast<std::size_t>(partner);
+      SendInternal(send_ + static_cast<std::size_t>(sdispls_[pi]) * esize,
+                   sendcounts_[pi], dt_, partner, tag_, comm_);
+      pending_ = IrecvInternal(
+          recv_ + static_cast<std::size_t>(rdispls_[pi]) * esize,
+          recvcounts_[pi], dt_, partner, tag_, comm_);
+      return;  // park on this round's receive
+    }
+    done_ = true;
+  }
+
+  const std::byte* send_;
+  std::byte* recv_;
+  std::vector<int> sendcounts_, sdispls_, recvcounts_, rdispls_;
+  Datatype dt_;
+  Comm comm_;
+  int tag_;
+  bool pow2_ = false;
+  int round_ = 0;
+  Request pending_;
+  bool done_ = false;
+};
+
+std::shared_ptr<RequestImpl> MakeUniformSM(const void* send, int count,
+                                           Datatype dt, void* recv,
+                                           const Comm& comm, int tag) {
+  if (count < 0) throw mpisim::UsageError("rbc::Alltoall: negative count");
+  const int p = comm.Size();
+  std::vector<int> counts(static_cast<std::size_t>(p), count);
+  std::vector<int> displs(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    displs[static_cast<std::size_t>(i)] = i * count;
+  }
+  return std::make_shared<AlltoallvSM>(send, counts, displs, dt, recv, counts,
+                                       displs, comm, tag);
+}
+
+}  // namespace
+}  // namespace detail
+
+int Alltoall(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+             const Comm& comm) {
+  detail::ValidateCollective(comm, 0, "Alltoall");
+  detail::RunToCompletion(
+      detail::MakeUniformSM(sendbuf, count, dt, recvbuf, comm, kTagAlltoall),
+      "Alltoall");
+  return 0;
+}
+
+int Ialltoall(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+              const Comm& comm, Request* request, int tag) {
+  detail::ValidateCollective(comm, 0, "Ialltoall");
+  if (request == nullptr) {
+    throw mpisim::UsageError("rbc::Ialltoall: null request");
+  }
+  *request = Request(
+      detail::MakeUniformSM(sendbuf, count, dt, recvbuf, comm, tag));
+  return 0;
+}
+
+int Alltoallv(const void* sendbuf, std::span<const int> sendcounts,
+              std::span<const int> sdispls, Datatype dt, void* recvbuf,
+              std::span<const int> recvcounts, std::span<const int> rdispls,
+              const Comm& comm) {
+  detail::ValidateCollective(comm, 0, "Alltoallv");
+  detail::RunToCompletion(
+      std::make_shared<detail::AlltoallvSM>(sendbuf, sendcounts, sdispls, dt,
+                                            recvbuf, recvcounts, rdispls,
+                                            comm, kTagAlltoallv),
+      "Alltoallv");
+  return 0;
+}
+
+int Ialltoallv(const void* sendbuf, std::span<const int> sendcounts,
+               std::span<const int> sdispls, Datatype dt, void* recvbuf,
+               std::span<const int> recvcounts, std::span<const int> rdispls,
+               const Comm& comm, Request* request, int tag) {
+  detail::ValidateCollective(comm, 0, "Ialltoallv");
+  if (request == nullptr) {
+    throw mpisim::UsageError("rbc::Ialltoallv: null request");
+  }
+  *request = Request(std::make_shared<detail::AlltoallvSM>(
+      sendbuf, sendcounts, sdispls, dt, recvbuf, recvcounts, rdispls, comm,
+      tag));
+  return 0;
+}
+
+}  // namespace rbc

@@ -68,17 +68,27 @@ int Ibarrier(const Comm& comm, Request* request, int tag = RBC_IBARRIER_TAG);
 // operations and the same tag discipline.
 // ---------------------------------------------------------------------------
 
-// Note: Exscan/Iexscan consume two consecutive tags (the inclusive scan
-// and the right-shift), so the tag after theirs stays unassigned.
+// Reserved-tag map of the extension collectives. Blocking collectives own
+// one exclusive tag each in kReservedTagBase + [7, 15]; nonblocking
+// defaults live in kReservedTagBase + [22, 30]. Exscan/Iexscan consume two
+// consecutive tags (the inclusive scan and the right-shift), so the tag
+// after theirs stays unassigned. Alltoall/Alltoallv use a single tag: the
+// pairwise schedules exchange at most one message per ordered rank pair
+// per operation, so (source, tag) is unambiguous; back-to-back operations
+// on the same tag are disambiguated by per-envelope FIFO order.
 inline constexpr int RBC_IALLREDUCE_TAG = kReservedTagBase + 22;
 inline constexpr int RBC_IALLGATHER_TAG = kReservedTagBase + 23;
 inline constexpr int RBC_IEXSCAN_TAG = kReservedTagBase + 24;  // +25 too
 inline constexpr int RBC_ISCATTER_TAG = kReservedTagBase + 26;
+inline constexpr int RBC_IALLTOALL_TAG = kReservedTagBase + 27;
+inline constexpr int RBC_IALLTOALLV_TAG = kReservedTagBase + 28;
 inline constexpr int kTagAllreduce = kReservedTagBase + 7;
 inline constexpr int kTagAllgather = kReservedTagBase + 8;
 inline constexpr int kTagExscan = kReservedTagBase + 9;  // +10 too
 inline constexpr int kTagScatter = kReservedTagBase + 11;
 inline constexpr int kTagBcastLarge = kReservedTagBase + 12;
+inline constexpr int kTagAlltoall = kReservedTagBase + 13;
+inline constexpr int kTagAlltoallv = kReservedTagBase + 14;
 
 /// Reduce to rank 0 chained with a broadcast.
 int Allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
@@ -116,5 +126,32 @@ int Iscatter(const void* sendbuf, int count, Datatype dt, void* recvbuf,
 /// algorithm by payload (bench_ext_bcast_large locates the crossover).
 int BcastLarge(void* buffer, int count, Datatype dt, int root,
                const Comm& comm);
+
+/// Personalized all-to-all with uniform block size: block i of sendbuf
+/// goes to rank i; recvbuf's block j arrives from rank j. Both buffers
+/// hold Size()*count elements. The schedule is a hypercube (XOR) pairing
+/// for power-of-two ranges and a 1-factorization for general sizes --
+/// p-1 pairwise exchange rounds either way, each round a send/recv with
+/// one partner. Zero-count blocks are still transmitted (MPI semantics),
+/// so the operation matches mpisim::Alltoall message for message.
+int Alltoall(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+             const Comm& comm);
+int Ialltoall(const void* sendbuf, int count, Datatype dt, void* recvbuf,
+              const Comm& comm, Request* request,
+              int tag = RBC_IALLTOALL_TAG);
+
+/// Personalized all-to-all with per-peer counts/displacements (elements).
+/// All four arrays are significant on every rank and sized Size();
+/// sendcounts[j] on rank i must equal recvcounts[i] on rank j. Same
+/// schedules as Alltoall.
+int Alltoallv(const void* sendbuf, std::span<const int> sendcounts,
+              std::span<const int> sdispls, Datatype dt, void* recvbuf,
+              std::span<const int> recvcounts, std::span<const int> rdispls,
+              const Comm& comm);
+int Ialltoallv(const void* sendbuf, std::span<const int> sendcounts,
+               std::span<const int> sdispls, Datatype dt, void* recvbuf,
+               std::span<const int> recvcounts, std::span<const int> rdispls,
+               const Comm& comm, Request* request,
+               int tag = RBC_IALLTOALLV_TAG);
 
 }  // namespace rbc

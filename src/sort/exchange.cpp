@@ -1,0 +1,405 @@
+#include "sort/exchange.hpp"
+
+#include <cstring>
+#include <thread>
+
+namespace jsort {
+namespace exchange {
+namespace {
+
+void WaitPoll(const Poll& p) {
+  while (!p()) {
+    if (mpisim::Ctx().runtime->Aborted()) throw mpisim::AbortedError();
+    std::this_thread::yield();
+  }
+}
+
+/// Globally consistent kAuto resolution. The decision must be identical on
+/// every rank of the group (receivers behave differently per mode), so it
+/// may only depend on quantities all ranks share: the group size and the
+/// segment count. An interval redistribution sends each segment to at most
+/// a handful of contiguous destinations (greedy chunks of a run no longer
+/// than the uniform quota span <= 4 ranks), so with k segments a rank
+/// reaches at most ~4k peers; coalescing wins once that is well under the
+/// p-1 rounds of the dense path.
+Mode Resolve(Mode mode, int p, std::size_t k) {
+  if (mode != Mode::kAuto) return mode;
+  const std::int64_t max_targets = 4 * static_cast<std::int64_t>(k);
+  return 2 * max_targets < p - 1 ? Mode::kCoalesced : Mode::kAlltoallv;
+}
+
+/// Shared state of one in-flight segment exchange; the returned Poll holds
+/// it alive.
+struct SegmentState {
+  std::shared_ptr<Transport> tr;
+  int p = 0;
+  int me = 0;
+  std::size_t k = 0;
+  int tag = 0;
+  std::vector<Segment> segments;
+  std::vector<std::int64_t> remaining;  // per segment, elements still owed
+
+  // Send side (both modes).
+  std::vector<std::int64_t> counts_matrix;  // [dest * k + seg]
+  std::vector<double> payload;              // grouped by dest, seg order
+  std::vector<int> sendcounts, sdispls;     // per dest, elements
+
+  // Dense-path state.
+  int phase = 0;
+  Poll pending;
+  std::vector<std::int64_t> incoming_matrix;  // [src * k + seg]
+  std::vector<int> recvcounts, rdispls;
+  std::vector<double> staging;
+
+  bool coalesced = false;
+  bool done = false;
+
+  bool Step();
+  void StartDenseCountsRound();
+  void FinishDense();
+  bool DrainCoalesced();
+};
+
+bool SegmentState::Step() {
+  if (done) return true;
+  if (coalesced) {
+    if (!DrainCoalesced()) return false;
+    done = true;
+    return true;
+  }
+  if (!pending()) return false;
+  if (phase == 0) {
+    // Counts known: size the staging buffer and start the payload round.
+    recvcounts.assign(static_cast<std::size_t>(p), 0);
+    rdispls.assign(static_cast<std::size_t>(p), 0);
+    std::int64_t total = 0;
+    for (int s = 0; s < p; ++s) {
+      std::int64_t from_s = 0;
+      for (std::size_t j = 0; j < k; ++j) {
+        from_s += incoming_matrix[static_cast<std::size_t>(s) * k + j];
+      }
+      recvcounts[static_cast<std::size_t>(s)] = static_cast<int>(from_s);
+      rdispls[static_cast<std::size_t>(s)] = static_cast<int>(total);
+      total += from_s;
+    }
+    staging.resize(static_cast<std::size_t>(total));
+    pending = tr->Ialltoallv(payload.data(), sendcounts, sdispls,
+                             Datatype::kFloat64, staging.data(), recvcounts,
+                             rdispls, tag);
+    phase = 1;
+    if (!pending()) return false;
+  }
+  FinishDense();
+  done = true;
+  return true;
+}
+
+void SegmentState::StartDenseCountsRound() {
+  // k int64 entries per peer, uniform (the self block is a local copy of
+  // zeros). The transport copies these small arrays at call time.
+  incoming_matrix.assign(static_cast<std::size_t>(p) * k, 0);
+  std::vector<int> ccounts(static_cast<std::size_t>(p),
+                           static_cast<int>(k));
+  std::vector<int> cdispls(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    cdispls[static_cast<std::size_t>(i)] = i * static_cast<int>(k);
+  }
+  pending = tr->Ialltoallv(counts_matrix.data(), ccounts, cdispls,
+                           Datatype::kInt64, incoming_matrix.data(), ccounts,
+                           cdispls, tag);
+}
+
+void SegmentState::FinishDense() {
+  // Split the per-source staging blocks into the per-segment sinks.
+  for (int s = 0; s < p; ++s) {
+    const double* cursor =
+        staging.data() + static_cast<std::size_t>(
+                             rdispls[static_cast<std::size_t>(s)]);
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::int64_t n =
+          incoming_matrix[static_cast<std::size_t>(s) * k + j];
+      if (n != 0) {
+        segments[j].sink->insert(segments[j].sink->end(), cursor, cursor + n);
+        remaining[j] -= n;
+      }
+      cursor += n;
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    if (remaining[j] != 0) {
+      throw mpisim::Error(
+          "jsort::exchange: received element count disagrees with the "
+          "layout overlap");
+    }
+  }
+}
+
+bool SegmentState::DrainCoalesced() {
+  bool all = true;
+  for (std::size_t j = 0; j < k; ++j) all &= remaining[j] == 0;
+  while (!all) {
+    Status st;
+    if (!tr->IprobeAny(tag, &st)) return false;
+    std::vector<std::byte> msg(st.bytes);
+    tr->Recv(msg.data(), static_cast<int>(st.bytes), Datatype::kByte,
+             st.source, tag);
+    std::size_t off = k * sizeof(std::int64_t);
+    all = true;
+    for (std::size_t j = 0; j < k; ++j) {
+      std::int64_t n = 0;
+      std::memcpy(&n, msg.data() + j * sizeof(std::int64_t), sizeof n);
+      if (n != 0) {
+        std::vector<double>& sink = *segments[j].sink;
+        const std::size_t old = sink.size();
+        sink.resize(old + static_cast<std::size_t>(n));
+        std::memcpy(sink.data() + old, msg.data() + off,
+                    static_cast<std::size_t>(n) * sizeof(double));
+        off += static_cast<std::size_t>(n) * sizeof(double);
+        remaining[j] -= n;
+      }
+      if (remaining[j] < 0) {
+        throw mpisim::Error(
+            "jsort::exchange: received more elements than the layout "
+            "overlap");
+      }
+      all &= remaining[j] == 0;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::int64_t ExscanCount(Transport& tr, std::int64_t mine, int tag) {
+  std::int64_t incl = 0;
+  Poll s = tr.Iscan(&mine, &incl, 1, Datatype::kInt64, ReduceOp::kSum, tag);
+  WaitPoll(s);
+  return incl - mine;
+}
+
+SendPlan PlanFromInterval(const CapacityLayout& layout,
+                          std::int64_t slot_begin, std::int64_t n, int p) {
+  SendPlan plan;
+  plan.counts.assign(static_cast<std::size_t>(p), 0);
+  plan.displs.assign(static_cast<std::size_t>(p), 0);
+  if (n > 0) {
+    for (const Chunk& c : AssignChunks(layout, slot_begin, slot_begin + n)) {
+      plan.counts[static_cast<std::size_t>(c.target)] +=
+          static_cast<int>(c.count);
+    }
+  }
+  int off = 0;
+  for (int i = 0; i < p; ++i) {
+    plan.displs[static_cast<std::size_t>(i)] = off;
+    off += plan.counts[static_cast<std::size_t>(i)];
+  }
+  return plan;
+}
+
+std::vector<double> ExchangeBuckets(
+    Transport& tr, const std::vector<std::vector<double>>& buckets, int tag,
+    ExchangeStats* stats) {
+  const int p = tr.Size();
+  if (static_cast<int>(buckets.size()) != p) {
+    throw mpisim::UsageError(
+        "jsort::exchange::ExchangeBuckets: one bucket per rank required");
+  }
+  const int me = tr.Rank();
+
+  // Flatten the non-self buckets in rank order; the self bucket skips the
+  // exchange entirely and is copied straight into its output slot below.
+  std::vector<int> sendcounts(static_cast<std::size_t>(p)),
+      sdispls(static_cast<std::size_t>(p));
+  std::vector<std::int64_t> my_counts(static_cast<std::size_t>(p));
+  std::int64_t total_out = 0;
+  for (int i = 0; i < p; ++i) {
+    const auto n = static_cast<std::int64_t>(
+        buckets[static_cast<std::size_t>(i)].size());
+    my_counts[static_cast<std::size_t>(i)] = n;
+    sendcounts[static_cast<std::size_t>(i)] = i == me ? 0 : static_cast<int>(n);
+    sdispls[static_cast<std::size_t>(i)] = static_cast<int>(total_out);
+    total_out += sendcounts[static_cast<std::size_t>(i)];
+  }
+  std::vector<double> sendbuf(static_cast<std::size_t>(total_out));
+  for (int i = 0; i < p; ++i) {
+    if (i == me) continue;
+    const auto& b = buckets[static_cast<std::size_t>(i)];
+    std::copy(b.begin(), b.end(),
+              sendbuf.begin() + sdispls[static_cast<std::size_t>(i)]);
+  }
+
+  // Counts round: one int64 per peer.
+  std::vector<std::int64_t> in_counts(static_cast<std::size_t>(p), 0);
+  std::vector<int> ones(static_cast<std::size_t>(p), 1),
+      iota(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) iota[static_cast<std::size_t>(i)] = i;
+  WaitPoll(tr.Ialltoallv(my_counts.data(), ones, iota, Datatype::kInt64,
+                         in_counts.data(), ones, iota, tag));
+
+  // Payload round. The self block is a zero-count gap in the exchange
+  // (matching sendcounts[me] == 0 above); its slot in `out` is filled
+  // directly from the bucket.
+  std::vector<int> recvcounts(static_cast<std::size_t>(p)),
+      rdispls(static_cast<std::size_t>(p));
+  std::int64_t total_in = 0;
+  for (int i = 0; i < p; ++i) {
+    recvcounts[static_cast<std::size_t>(i)] =
+        i == me ? 0 : static_cast<int>(in_counts[static_cast<std::size_t>(i)]);
+    rdispls[static_cast<std::size_t>(i)] = static_cast<int>(total_in);
+    total_in += in_counts[static_cast<std::size_t>(i)];
+  }
+  std::vector<double> out(static_cast<std::size_t>(total_in));
+  const auto& self = buckets[static_cast<std::size_t>(me)];
+  std::copy(self.begin(), self.end(),
+            out.begin() + rdispls[static_cast<std::size_t>(me)]);
+  WaitPoll(tr.Ialltoallv(sendbuf.data(), sendcounts, sdispls,
+                         Datatype::kFloat64, out.data(), recvcounts, rdispls,
+                         tag));
+  if (stats != nullptr) {
+    stats->messages_sent += p - 1;
+    stats->elements_sent += total_out;  // self excluded from the flatten
+  }
+  return out;
+}
+
+Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
+                          const CapacityLayout& layout,
+                          std::vector<Segment> segments, int tag, Mode mode,
+                          ExchangeStats* stats) {
+  if (tr == nullptr) {
+    throw mpisim::UsageError("jsort::exchange: null transport");
+  }
+  auto st = std::make_shared<SegmentState>();
+  st->tr = tr;
+  st->p = tr->Size();
+  st->me = tr->Rank();
+  st->k = segments.size();
+  st->tag = tag;
+  st->segments = std::move(segments);
+  st->remaining.reserve(st->k);
+  st->counts_matrix.assign(static_cast<std::size_t>(st->p) * st->k, 0);
+
+  // Interval computation -> per-destination chunks. Self chunks bypass the
+  // transport and land in their sinks right away.
+  for (std::size_t j = 0; j < st->k; ++j) {
+    Segment& seg = st->segments[j];
+    if (seg.sink == nullptr) {
+      throw mpisim::UsageError("jsort::exchange: segment without sink");
+    }
+    st->remaining.push_back(seg.expect);
+    if (seg.count == 0) continue;
+    std::int64_t cursor = 0;
+    for (const Chunk& c :
+         AssignChunks(layout, seg.slot_begin, seg.slot_begin + seg.count)) {
+      if (c.target == st->me) {
+        seg.sink->insert(seg.sink->end(), seg.data + cursor,
+                         seg.data + cursor + c.count);
+        st->remaining[j] -= c.count;
+      } else {
+        st->counts_matrix[static_cast<std::size_t>(c.target) * st->k + j] +=
+            c.count;
+      }
+      cursor += c.count;
+    }
+  }
+
+  st->coalesced = Resolve(mode, st->p, st->k) == Mode::kCoalesced;
+
+  // Per-destination totals (and traffic accounting) are mode-independent.
+  std::int64_t nonempty = 0, elements = 0;
+  st->sendcounts.assign(static_cast<std::size_t>(st->p), 0);
+  st->sdispls.assign(static_cast<std::size_t>(st->p), 0);
+  std::int64_t off = 0;
+  for (int d = 0; d < st->p; ++d) {
+    std::int64_t to_d = 0;
+    for (std::size_t j = 0; j < st->k; ++j) {
+      to_d += st->counts_matrix[static_cast<std::size_t>(d) * st->k + j];
+    }
+    st->sendcounts[static_cast<std::size_t>(d)] = static_cast<int>(to_d);
+    st->sdispls[static_cast<std::size_t>(d)] = static_cast<int>(off);
+    off += to_d;
+    if (to_d != 0) {
+      ++nonempty;
+      elements += to_d;
+    }
+  }
+  if (stats != nullptr) {
+    stats->messages_sent +=
+        st->coalesced ? nonempty : static_cast<std::int64_t>(st->p - 1);
+    stats->elements_sent += elements;
+  }
+
+  if (st->coalesced) {
+    // One self-describing message per non-empty destination:
+    // [int64 seg_counts[k]][segment payloads in order]. Built in a single
+    // chunk walk per segment with per-destination write cursors (segments
+    // are visited in order, so each message's payload is segment-ordered).
+    // Sends are eager; the Poll only drains this rank's own expectations.
+    const std::size_t header = st->k * sizeof(std::int64_t);
+    std::vector<std::vector<std::byte>> msgs(
+        static_cast<std::size_t>(st->p));
+    std::vector<std::size_t> wcursor(static_cast<std::size_t>(st->p),
+                                     header);
+    for (int d = 0; d < st->p; ++d) {
+      if (st->sendcounts[static_cast<std::size_t>(d)] == 0) continue;
+      msgs[static_cast<std::size_t>(d)].resize(
+          header + static_cast<std::size_t>(
+                       st->sendcounts[static_cast<std::size_t>(d)]) *
+                       sizeof(double));
+      std::memcpy(msgs[static_cast<std::size_t>(d)].data(),
+                  st->counts_matrix.data() +
+                      static_cast<std::size_t>(d) * st->k,
+                  header);
+    }
+    for (std::size_t j = 0; j < st->k; ++j) {
+      const Segment& seg = st->segments[j];
+      if (seg.count == 0) continue;
+      std::int64_t read = 0;
+      for (const Chunk& c :
+           AssignChunks(layout, seg.slot_begin, seg.slot_begin + seg.count)) {
+        if (c.target != st->me) {
+          const auto di = static_cast<std::size_t>(c.target);
+          std::memcpy(msgs[di].data() + wcursor[di], seg.data + read,
+                      static_cast<std::size_t>(c.count) * sizeof(double));
+          wcursor[di] += static_cast<std::size_t>(c.count) * sizeof(double);
+        }
+        read += c.count;
+      }
+    }
+    for (int d = 0; d < st->p; ++d) {
+      const auto& msg = msgs[static_cast<std::size_t>(d)];
+      if (msg.empty()) continue;
+      st->tr->Send(msg.data(), static_cast<int>(msg.size()), Datatype::kByte,
+                   d, tag);
+    }
+    return [st] { return st->Step(); };
+  }
+
+  // Dense path: flatten the payload grouped by destination, then run the
+  // counts round followed by the payload Alltoallv.
+  st->payload.resize(static_cast<std::size_t>(off));
+  {
+    std::vector<std::int64_t> cursor(st->sdispls.begin(), st->sdispls.end());
+    for (std::size_t j = 0; j < st->k; ++j) {
+      const Segment& seg = st->segments[j];
+      if (seg.count == 0) continue;
+      std::int64_t read = 0;
+      for (const Chunk& c :
+           AssignChunks(layout, seg.slot_begin, seg.slot_begin + seg.count)) {
+        if (c.target != st->me) {
+          std::memcpy(st->payload.data() +
+                          cursor[static_cast<std::size_t>(c.target)],
+                      seg.data + read,
+                      static_cast<std::size_t>(c.count) * sizeof(double));
+          cursor[static_cast<std::size_t>(c.target)] += c.count;
+        }
+        read += c.count;
+      }
+    }
+  }
+  st->StartDenseCountsRound();
+  return [st] { return st->Step(); };
+}
+
+}  // namespace exchange
+}  // namespace jsort

@@ -1,0 +1,100 @@
+// Data-redistribution layer shared by the sorting algorithms.
+//
+// Every distributed sorter ends a level the same way: each rank holds runs
+// of elements whose destinations are defined by a global slot interval
+// (jquick) or by explicit per-destination buckets (sample sort), and the
+// data must move so that every rank ends up with exactly its share. This
+// layer factors that step out of the sorters and routes it over the
+// jsort::Transport abstraction, so the same code runs on RBC, native-MPI
+// and Icomm backends.
+//
+// Two delivery paths are provided:
+//  * the dense Alltoallv path -- a counts exchange followed by a payload
+//    Transport::Ialltoallv. Predictable p-1 message rounds, right when
+//    most destinations receive something (single-level sample sort);
+//  * the coalesced path for skewed partitions -- when each rank sends to
+//    only a few destinations (jquick's greedy chunk assignment spans O(1)
+//    ranks per level), the dense counts exchange would dominate. Instead,
+//    all segments destined to one rank ship as a single self-describing
+//    message ([int64 counts[k]][payload]), and receivers drain
+//    membership-filtered probes until their precomputed expectations are
+//    met. One startup per non-empty destination, zero metadata rounds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sort/assignment.hpp"
+#include "sort/transport.hpp"
+
+namespace jsort {
+namespace exchange {
+
+/// Per-rank traffic accounting of one redistribution. Counts payload
+/// messages only; the dense path's metadata (counts) round is excluded so
+/// the numbers stay comparable across paths.
+struct ExchangeStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t elements_sent = 0;
+};
+
+/// Delivery path selection.
+enum class Mode {
+  kAlltoallv,  // dense: counts exchange + Transport::Ialltoallv
+  kCoalesced,  // sparse: one self-describing message per destination
+  kAuto,       // kCoalesced when few destinations are non-empty, else dense
+};
+
+/// Exclusive prefix sum of per-rank element counts over the transport --
+/// the interval computation that turns "I hold n elements" into "my
+/// elements occupy global slots [result, result + n)". Blocking.
+std::int64_t ExscanCount(Transport& tr, std::int64_t mine, int tag);
+
+/// Sender-side plan of a slot-interval redistribution: per-destination
+/// counts and displacements (elements) for the caller's run occupying
+/// slots [slot_begin, slot_begin + n) of `layout`. Purely local O(spanned
+/// ranks) arithmetic over the greedy chunk assignment.
+struct SendPlan {
+  std::vector<int> counts;  // per destination rank
+  std::vector<int> displs;  // prefix sums of counts
+};
+SendPlan PlanFromInterval(const CapacityLayout& layout,
+                          std::int64_t slot_begin, std::int64_t n, int p);
+
+/// Blocking bucket redistribution (single-level sample sort): bucket[i]
+/// goes to rank i, every rank returns the concatenation of what it
+/// received, ordered by source rank. Dense path. `stats`, if non-null, is
+/// incremented by this call's payload traffic (p-1 messages).
+std::vector<double> ExchangeBuckets(
+    Transport& tr, const std::vector<std::vector<double>>& buckets, int tag,
+    ExchangeStats* stats = nullptr);
+
+/// One logically-contiguous run of elements to redistribute, plus where
+/// its incoming counterpart accumulates.
+struct Segment {
+  const double* data = nullptr;   // contiguous elements (may be null if 0)
+  std::int64_t count = 0;         // number of elements
+  std::int64_t slot_begin = 0;    // absolute slot of data[0] in the layout
+  std::vector<double>* sink = nullptr;  // received elements are appended
+  std::int64_t expect = 0;        // elements this rank receives (overlap)
+};
+
+/// Starts a nonblocking redistribution of `segments` onto `layout` over
+/// the transport. All segments coalesce into one exchange regardless of
+/// how many there are: the dense path runs one counts round plus one
+/// payload Alltoallv; the coalesced path ships one combined message per
+/// non-empty destination. Self-destined elements bypass the transport.
+///
+/// The segment data is copied out before this returns, so callers may
+/// free their buffers immediately; sinks must stay alive (and must not be
+/// resized by the caller) until the returned Poll reports completion.
+/// `stats`, if non-null, is incremented synchronously at start time.
+Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
+                          const CapacityLayout& layout,
+                          std::vector<Segment> segments, int tag,
+                          Mode mode = Mode::kAuto,
+                          ExchangeStats* stats = nullptr);
+
+}  // namespace exchange
+}  // namespace jsort

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "sort/assignment.hpp"
+#include "sort/exchange.hpp"
 #include "sort/partition.hpp"
 #include "sort/quickselect.hpp"
 
@@ -16,15 +17,14 @@ namespace jsort {
 namespace {
 
 // Exchange tags live in the user tag space. Each distributed level gets
-// its own pair of (small, large) tags: a fast process may start level k+1
-// while a neighbour still receives level-k data, so level-k and level-k+1
-// exchange messages must never share an envelope. The base-case pairwise
-// exchange has a single tag: distinct partners disambiguate.
+// its own tag: a fast process may start level k+1 while a neighbour still
+// receives level-k data, so level-k and level-k+1 exchange messages must
+// never share an envelope. The (small, large) sides coalesce into one
+// redistribution per level (jsort::exchange), so one tag per level
+// suffices. The base-case pairwise exchange has a single tag: distinct
+// partners disambiguate.
 constexpr int kTagExchangeBase = 256;
 constexpr int kTagBasePair = 128;
-inline int ExchangeTag(int level, bool large) {
-  return kTagExchangeBase + 2 * level + (large ? 1 : 0);
-}
 
 enum class Phase {
   kPivotBegin,
@@ -70,10 +70,9 @@ struct Task {
   std::int64_t incl[2] = {0, 0};
   std::int64_t totals[2] = {0, 0};
 
-  // Exchange state.
+  // Exchange state: the redistribution (jsort::exchange) appends into
+  // these sinks; `poll` reports its completion during Phase::kExchange.
   std::vector<double> recv_small, recv_large;
-  std::int64_t expect_small = 0, expect_large = 0;
-  bool sends_done = false;
 
   int MyRank() const { return tr->Rank(); }
   std::int64_t MyCap() const { return layout.CapOf(MyRank()); }
@@ -81,6 +80,7 @@ struct Task {
     return global_off + layout.PrefixBefore(MyRank());
   }
   int CollTag() const { return 2 * level + (retried ? 1 : 0); }
+  int ExchangeTag() const { return kTagExchangeBase + CollTag(); }
 };
 
 class Driver {
@@ -230,7 +230,7 @@ class Driver {
           continue;
         }
         case Phase::kExchange:
-          if (!ProgressExchange(t)) return progressed;
+          if (!t.poll()) return progressed;
           t.phase = Phase::kSplit;
           progressed = true;
           continue;
@@ -277,78 +277,43 @@ class Driver {
     t.large.clear();
   }
 
+  /// Hands the (small, large) sides to the redistribution layer: one
+  /// coalesced exchange per level covering both regions. The layer copies
+  /// the payload out synchronously, so the partition buffers are released
+  /// immediately; Phase::kExchange polls t.poll until the sinks are full.
   void StartExchange(Task& t) {
     const std::int64_t s_excl = t.incl[0] - t.counts[0];
     const std::int64_t l_excl = t.incl[1] - t.counts[1];
     const std::int64_t s_total = t.totals[0];
-    t.expect_small = OverlapWithRegion(t.layout, t.MyRank(), 0, s_total);
-    t.expect_large =
+    const std::int64_t expect_small =
+        OverlapWithRegion(t.layout, t.MyRank(), 0, s_total);
+    const std::int64_t expect_large =
         OverlapWithRegion(t.layout, t.MyRank(), s_total, t.layout.Total());
-    t.recv_small.reserve(static_cast<std::size_t>(t.expect_small));
-    t.recv_large.reserve(static_cast<std::size_t>(t.expect_large));
+    t.recv_small.reserve(static_cast<std::size_t>(expect_small));
+    t.recv_large.reserve(static_cast<std::size_t>(expect_large));
 
-    SendSide(t, t.small, s_excl, /*region_off=*/0, /*large=*/false);
-    SendSide(t, t.large, s_total + l_excl, s_total, /*large=*/true);
+    std::vector<exchange::Segment> segments(2);
+    segments[0] = exchange::Segment{
+        t.small.data(), static_cast<std::int64_t>(t.small.size()), s_excl,
+        &t.recv_small, expect_small};
+    segments[1] = exchange::Segment{
+        t.large.data(), static_cast<std::int64_t>(t.large.size()),
+        s_total + l_excl, &t.recv_large, expect_large};
+    exchange::ExchangeStats es;
+    t.poll = exchange::StartSegmentExchange(t.tr, t.layout,
+                                            std::move(segments),
+                                            t.ExchangeTag(),
+                                            cfg_.exchange_mode, &es);
+    if (stats_ != nullptr) {
+      stats_->messages_sent += es.messages_sent;
+      stats_->elements_sent += es.elements_sent;
+    }
     t.small.clear();
     t.small.shrink_to_fit();
     t.large.clear();
     t.large.shrink_to_fit();
     t.data.clear();
     t.data.shrink_to_fit();
-    t.sends_done = true;
-  }
-
-  /// Sends one side's elements, whose slot interval starts at slot_begin,
-  /// chunk by chunk (greedy assignment). Self-chunks bypass the transport.
-  void SendSide(Task& t, const std::vector<double>& elems,
-                std::int64_t slot_begin, std::int64_t region_off,
-                bool large) {
-    (void)region_off;
-    if (elems.empty()) return;
-    const auto chunks = AssignChunks(
-        t.layout, slot_begin,
-        slot_begin + static_cast<std::int64_t>(elems.size()));
-    std::size_t cursor = 0;
-    for (const Chunk& c : chunks) {
-      auto& sink = large ? t.recv_large : t.recv_small;
-      if (c.target == t.MyRank()) {
-        sink.insert(sink.end(), elems.begin() + static_cast<std::ptrdiff_t>(cursor),
-                    elems.begin() + static_cast<std::ptrdiff_t>(cursor + c.count));
-      } else {
-        t.tr->Send(elems.data() + cursor, static_cast<int>(c.count),
-                   Datatype::kFloat64, c.target, ExchangeTag(t.level, large));
-        if (stats_ != nullptr) {
-          stats_->messages_sent += 1;
-          stats_->elements_sent += c.count;
-        }
-      }
-      cursor += static_cast<std::size_t>(c.count);
-    }
-  }
-
-  /// Drains incoming exchange messages; true once both sides are full.
-  bool ProgressExchange(Task& t) {
-    bool more = true;
-    while (more) {
-      more = false;
-      more |= DrainSide(t, t.recv_small, t.expect_small, /*large=*/false);
-      more |= DrainSide(t, t.recv_large, t.expect_large, /*large=*/true);
-    }
-    return static_cast<std::int64_t>(t.recv_small.size()) == t.expect_small &&
-           static_cast<std::int64_t>(t.recv_large.size()) == t.expect_large;
-  }
-
-  bool DrainSide(Task& t, std::vector<double>& sink, std::int64_t expect,
-                 bool large) {
-    if (static_cast<std::int64_t>(sink.size()) >= expect) return false;
-    Status st;
-    if (!t.tr->IprobeAny(ExchangeTag(t.level, large), &st)) return false;
-    const int count = st.Count(Datatype::kFloat64);
-    const std::size_t old = sink.size();
-    sink.resize(old + static_cast<std::size_t>(count));
-    t.tr->Recv(sink.data() + old, count, Datatype::kFloat64, st.source,
-               ExchangeTag(t.level, large));
-    return true;
   }
 
   void SplitTask(Task& t) {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "sort/exchange.hpp"
 #include "sort/sampling.hpp"
 #include "sort/transport.hpp"
 
@@ -37,6 +38,11 @@ struct JQuickConfig {
   PivotPolicy pivot = PivotPolicy::kMedianOfSamples;
   SampleParams samples{};
   SplitSchedule schedule = SplitSchedule::kAlternating;
+  /// Delivery path of the per-level data exchange (jsort::exchange).
+  /// kAuto coalesces the (small, large) sides into one sparse message per
+  /// destination on large groups and falls back to the dense Alltoallv on
+  /// small ones.
+  exchange::Mode exchange_mode = exchange::Mode::kAuto;
   std::uint64_t seed = 1;
 };
 

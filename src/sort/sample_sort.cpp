@@ -4,6 +4,7 @@
 #include <random>
 #include <thread>
 
+#include "sort/exchange.hpp"
 #include "sort/sampling.hpp"
 
 namespace jsort {
@@ -72,31 +73,15 @@ std::vector<double> SampleSort(const std::shared_ptr<Transport>& world,
   local.clear();
   local.shrink_to_fit();
 
-  // 3) All-to-all: bucket i to rank i. Empty buckets are sent too, so every
-  //    rank receives exactly p-1 messages -- the p-1 startups of Section IV.
-  std::vector<double> out = std::move(buckets[static_cast<std::size_t>(rank)]);
-  for (int off = 1; off < p; ++off) {
-    const int dest = (rank + off) % p;
-    const auto& bkt = buckets[static_cast<std::size_t>(dest)];
-    tr.Send(bkt.data(), static_cast<int>(bkt.size()), Datatype::kFloat64,
-            dest, kTagBucket);
-    if (stats != nullptr) stats->messages_sent += 1;
-  }
-  for (int off = 1; off < p; ++off) {
-    const int src = (rank - off + p) % p;
-    Status st;
-    bool found = false;
-    while (!found) {
-      found = tr.IprobeAny(kTagBucket, &st);
-      if (!found) std::this_thread::yield();
-    }
-    const int incoming = st.Count(Datatype::kFloat64);
-    const std::size_t old = out.size();
-    out.resize(old + static_cast<std::size_t>(incoming));
-    tr.Recv(out.data() + old, incoming, Datatype::kFloat64, st.source,
-            kTagBucket);
-    (void)src;
-  }
+  // 3) All-to-all: bucket i to rank i over the redistribution layer's
+  //    dense Alltoallv path. Empty buckets are exchanged too, so every
+  //    rank pays exactly p-1 payload startups -- the p-1 startups of
+  //    Section IV.
+  exchange::ExchangeStats es;
+  std::vector<double> out =
+      exchange::ExchangeBuckets(tr, buckets, kTagBucket, &es);
+  buckets.clear();
+  if (stats != nullptr) stats->messages_sent += es.messages_sent;
 
   // 4) Local sort of the received bucket.
   std::sort(out.begin(), out.end());

@@ -25,6 +25,7 @@ constexpr int kRbcOpBcast = 0;
 constexpr int kRbcOpScan = 1;
 constexpr int kRbcOpReduce = 2;
 constexpr int kRbcOpGather = 3;
+constexpr int kRbcOpAlltoallv = 4;
 int RbcCollTag(int tag, int op) {
   return rbc::kReservedTagBase + (1 << 12) + tag * 8 + op;
 }
@@ -69,6 +70,16 @@ class RbcTransport final : public Transport {
     rbc::Request req;
     rbc::Igather(send, count, dt, recv, root, comm_, &req,
                  RbcCollTag(tag, kRbcOpGather));
+    return WrapRbc(std::move(req));
+  }
+
+  Poll Ialltoallv(const void* send, std::span<const int> sendcounts,
+                  std::span<const int> sdispls, Datatype dt, void* recv,
+                  std::span<const int> recvcounts,
+                  std::span<const int> rdispls, int tag) override {
+    rbc::Request req;
+    rbc::Ialltoallv(send, sendcounts, sdispls, dt, recv, recvcounts, rdispls,
+                    comm_, &req, RbcCollTag(tag, kRbcOpAlltoallv));
     return WrapRbc(std::move(req));
   }
 
@@ -134,6 +145,14 @@ class MpiTransportBase : public Transport {
   Poll Igather(const void* send, int count, Datatype dt, void* recv,
                int root, int /*tag*/) override {
     return WrapMpi(mpisim::Igather(send, count, dt, recv, root, comm_));
+  }
+
+  Poll Ialltoallv(const void* send, std::span<const int> sendcounts,
+                  std::span<const int> sdispls, Datatype dt, void* recv,
+                  std::span<const int> recvcounts,
+                  std::span<const int> rdispls, int /*tag*/) override {
+    return WrapMpi(mpisim::Ialltoallv(send, sendcounts, sdispls, dt, recv,
+                                      recvcounts, rdispls, comm_));
   }
 
   void Send(const void* buf, int count, Datatype dt, int dest,

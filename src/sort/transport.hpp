@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "mpisim/mpisim.hpp"
 #include "rbc/rbc.hpp"
@@ -49,6 +50,16 @@ class Transport {
                        ReduceOp op, int root, int tag) = 0;
   virtual Poll Igather(const void* send, int count, Datatype dt, void* recv,
                        int root, int tag) = 0;
+
+  /// Personalized all-to-all with per-peer counts/displacements (elements;
+  /// all four arrays sized Size() and significant on every rank). The
+  /// count arrays are copied at call time; only the data buffers must stay
+  /// alive until the Poll reports completion. Zero-count blocks are still
+  /// exchanged, so every backend moves exactly Size()-1 messages.
+  virtual Poll Ialltoallv(const void* send, std::span<const int> sendcounts,
+                          std::span<const int> sdispls, Datatype dt,
+                          void* recv, std::span<const int> recvcounts,
+                          std::span<const int> rdispls, int tag) = 0;
 
   // Point-to-point. Send is eager (completes locally); IprobeAny reports
   // only messages whose source belongs to this group.
