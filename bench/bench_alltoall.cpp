@@ -1,13 +1,17 @@
 // All-to-all exchange benchmark: rbc::Alltoallv vs mpisim::Alltoallv on
 // uniform personalized exchanges, and the jsort::exchange segment paths
-// (dense Alltoallv vs coalesced) on a skewed neighbour-rotation
-// redistribution.
+// (dense Alltoallv vs coalesced vs sparse) on a skewed neighbour-rotation
+// redistribution. The skewed rows also report the *measured* per-rank
+// message count (payload plus every metadata message: the dense counts
+// round, the sparse barriers), taken from the substrate's traffic
+// counters -- the startup-cost story of the paths in one number.
 //
 // Output is machine-readable JSON (one top-level array of measurement
 // objects) so the results can accumulate into the BENCH_*.json perf
 // trajectory:
 //   ./bench_alltoall > BENCH_alltoall.json
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "benchutil.hpp"
@@ -18,15 +22,15 @@ namespace {
 
 constexpr int kReps = 5;
 
-bool first_row = true;
+benchutil::JsonRows rows;
 
 void EmitRow(const char* bench, const char* backend, int p, long long count,
-             const benchutil::Measurement& m) {
-  std::printf("%s\n  {\"bench\": \"%s\", \"backend\": \"%s\", \"p\": %d, "
-              "\"count\": %lld, \"vtime\": %.6f, \"wall_ms\": %.4f}",
-              first_row ? "" : ",", bench, backend, p, count, m.vtime,
-              m.wall_ms);
-  first_row = false;
+             const benchutil::Measurement& m, long long messages = -1) {
+  std::string extra;
+  if (messages >= 0) {
+    extra = "\"messages\": " + std::to_string(messages);
+  }
+  rows.Row(bench, backend, p, count, m, extra);
 }
 
 /// Uniform personalized exchange: every rank sends `count` elements to
@@ -64,7 +68,10 @@ void UniformSweep(int p) {
 }
 
 /// Skewed redistribution: every rank's elements all belong to one
-/// neighbour (the jquick-style sparse pattern), via both exchange paths.
+/// neighbour (the jquick-style sparse pattern), via all three exchange
+/// paths. Alongside the timings, one extra untimed run measures the
+/// maximum per-rank message count (payload + metadata) from the
+/// substrate's traffic counters.
 void SkewSweep(int p) {
   mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
   rt.Run([p](mpisim::Comm& world) {
@@ -78,23 +85,37 @@ void SkewSweep(int p) {
       const int owner = (me + 1) % p;
       const std::int64_t begin = layout.PrefixBefore(owner);
       std::vector<double> data(static_cast<std::size_t>(cap), 1.0);
+      auto run_once = [&](jsort::exchange::Mode mode) {
+        std::vector<double> sink;
+        std::vector<jsort::exchange::Segment> segs(1);
+        segs[0] = jsort::exchange::Segment{data.data(), cap, begin, &sink,
+                                           cap};
+        jsort::Poll poll = jsort::exchange::StartSegmentExchange(
+            tr, layout, std::move(segs), 19, mode);
+        while (!poll()) {
+        }
+      };
       for (auto mode : {jsort::exchange::Mode::kAlltoallv,
-                        jsort::exchange::Mode::kCoalesced}) {
+                        jsort::exchange::Mode::kCoalesced,
+                        jsort::exchange::Mode::kSparse}) {
         const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
-          std::vector<double> sink;
-          std::vector<jsort::exchange::Segment> segs(1);
-          segs[0] = jsort::exchange::Segment{data.data(), cap, begin, &sink,
-                                             cap};
-          jsort::Poll poll = jsort::exchange::StartSegmentExchange(
-              tr, layout, std::move(segs), 19, mode);
-          while (!poll()) {
-          }
+          run_once(mode);
         });
+        // Untimed message-count pass: max per-rank sends of one exchange
+        // (the counter only sees the caller's own sends, all of which
+        // happen inside run_once).
+        mpisim::Barrier(world);
+        const double before =
+            static_cast<double>(mpisim::Ctx().stats.messages_sent);
+        run_once(mode);
+        const double local =
+            static_cast<double>(mpisim::Ctx().stats.messages_sent) - before;
+        double max_msgs = 0.0;
+        mpisim::Allreduce(&local, &max_msgs, 1, mpisim::Datatype::kFloat64,
+                          mpisim::ReduceOp::kMax, world);
         if (world.Rank() == 0) {
-          EmitRow("segment_exchange_skewed",
-                  mode == jsort::exchange::Mode::kAlltoallv ? "dense"
-                                                            : "coalesced",
-                  p, cap, m);
+          EmitRow("segment_exchange_skewed", benchutil::ModeName(mode), p,
+                  cap, m, static_cast<long long>(max_msgs));
         }
       }
     }
@@ -104,9 +125,8 @@ void SkewSweep(int p) {
 }  // namespace
 
 int main() {
-  std::printf("[");
   for (int p : {4, 8, 16, 32}) UniformSweep(p);
   for (int p : {8, 16, 32}) SkewSweep(p);
-  std::printf("\n]\n");
+  rows.Close();
   return 0;
 }

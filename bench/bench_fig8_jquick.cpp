@@ -8,7 +8,15 @@
 // Paper shape: for n/p = 1 RBC wins 3.5..17x; for moderate inputs
 // (n/p <= 2^10) the gap peaks (factor >1000 vs IBM MPI); for large inputs
 // the curves converge as data movement dominates communicator creation.
+//
+// stdout carries machine-readable JSON in the BENCH_alltoall.json schema
+// (one measurement object per backend and n/p):
+//   ./bench_fig8_jquick > BENCH_fig8.json
+// The human-readable shape table goes to stderr. `--smoke` shrinks the
+// sweep (8 ranks, tiny quotas) so CI can keep the code path green.
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "benchutil.hpp"
@@ -17,17 +25,22 @@
 
 namespace {
 
-constexpr int kRanks = 64;
-constexpr int kReps = 3;
-constexpr int kMaxLog = 14;
-
 enum class Backend { kRbc, kMpi };
 
+benchutil::JsonRows rows;
+
+void EmitRow(const char* backend, int p, long long count,
+             double vtime, double wall_ms) {
+  rows.Row("fig8_jquick", backend, p, count,
+           benchutil::Measurement{wall_ms, vtime});
+}
+
 double MeasureSort(mpisim::Comm& world, Backend backend, int quota,
-                   jsort::SplitSchedule schedule, double* wall_ms) {
+                   jsort::SplitSchedule schedule, int reps,
+                   double* wall_ms) {
   jsort::JQuickConfig cfg;
   cfg.schedule = schedule;
-  benchutil::Measurement m = benchutil::MeasureOnRanks(world, kReps, [&] {
+  benchutil::Measurement m = benchutil::MeasureOnRanks(world, reps, [&] {
     auto input = jsort::GenerateInput(jsort::InputKind::kUniform,
                                       world.Rank(), world.Size(), quota, 7);
     std::shared_ptr<jsort::Transport> tr;
@@ -46,63 +59,90 @@ double MeasureSort(mpisim::Comm& world, Backend backend, int quota,
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "# Figure 8: JQuick on p=%d ranks, uniform doubles, median of %d\n"
-      "# MPIslow = native transport on the slow-create_group vendor "
-      "profile (the 'IBM MPI' column)\n",
-      kRanks, kReps);
-  benchutil::PrintRowHeader({"n/p", "RBC.vt", "MPI.alt.vt", "MPI.casc.vt",
-                             "MPIslow.vt", "MPIalt/RBC", "MPIslow/RBC"});
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int ranks = smoke ? 8 : 64;
+  const int reps = smoke ? 1 : 3;
+  const int max_log = smoke ? 4 : 14;
+
+  std::fprintf(stderr,
+               "# Figure 8: JQuick on p=%d ranks, uniform doubles, median "
+               "of %d\n# MPIslow = native transport on the "
+               "slow-create_group vendor profile (the 'IBM MPI' column)\n",
+               ranks, reps);
   std::vector<double> rbc_vts, alt_vts, casc_vts, slow_vts;
+  std::vector<double> rbc_walls, alt_walls, casc_walls, slow_walls;
   {
-    mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
+    mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
     rt.Run([&](mpisim::Comm& world) {
-      for (int lg = 0; lg <= kMaxLog; lg += 2) {
+      for (int lg = 0; lg <= max_log; lg += 2) {
         const int quota = 1 << lg;
+        double wall = 0.0;
         const double rbc_vt = MeasureSort(
             world, Backend::kRbc, quota, jsort::SplitSchedule::kAlternating,
-            nullptr);
+            reps, &wall);
+        double alt_wall = 0.0;
         const double mpi_alt = MeasureSort(
             world, Backend::kMpi, quota, jsort::SplitSchedule::kAlternating,
-            nullptr);
+            reps, &alt_wall);
+        double casc_wall = 0.0;
         const double mpi_casc = MeasureSort(
             world, Backend::kMpi, quota, jsort::SplitSchedule::kCascaded,
-            nullptr);
+            reps, &casc_wall);
         if (world.Rank() == 0) {
           rbc_vts.push_back(rbc_vt);
+          rbc_walls.push_back(wall);
           alt_vts.push_back(mpi_alt);
+          alt_walls.push_back(alt_wall);
           casc_vts.push_back(mpi_casc);
+          casc_walls.push_back(casc_wall);
         }
       }
     });
   }
   {
     mpisim::Runtime rt(mpisim::Runtime::Options{
-        .num_ranks = kRanks,
+        .num_ranks = ranks,
         .profile = mpisim::VendorProfile::kSlowCreateGroup});
     rt.Run([&](mpisim::Comm& world) {
-      for (int lg = 0; lg <= kMaxLog; lg += 2) {
+      for (int lg = 0; lg <= max_log; lg += 2) {
         const int quota = 1 << lg;
+        double wall = 0.0;
         const double v = MeasureSort(
             world, Backend::kMpi, quota, jsort::SplitSchedule::kAlternating,
-            nullptr);
-        if (world.Rank() == 0) slow_vts.push_back(v);
+            reps, &wall);
+        if (world.Rank() == 0) {
+          slow_vts.push_back(v);
+          slow_walls.push_back(wall);
+        }
       }
     });
   }
+
   std::size_t row = 0;
-  for (int lg = 0; lg <= kMaxLog; lg += 2, ++row) {
-    benchutil::PrintCell(static_cast<double>(1 << lg));
-    benchutil::PrintCell(rbc_vts[row]);
-    benchutil::PrintCell(alt_vts[row]);
-    benchutil::PrintCell(casc_vts[row]);
-    benchutil::PrintCell(slow_vts[row]);
-    benchutil::PrintCell(alt_vts[row] / std::max(rbc_vts[row], 1e-9));
-    benchutil::PrintCell(slow_vts[row] / std::max(rbc_vts[row], 1e-9));
-    benchutil::EndRow();
+  for (int lg = 0; lg <= max_log; lg += 2, ++row) {
+    const long long quota = 1 << lg;
+    EmitRow("rbc", ranks, quota, rbc_vts[row], rbc_walls[row]);
+    EmitRow("mpi_alt", ranks, quota, alt_vts[row], alt_walls[row]);
+    EmitRow("mpi_casc", ranks, quota, casc_vts[row], casc_walls[row]);
+    EmitRow("mpi_slow", ranks, quota, slow_vts[row], slow_walls[row]);
   }
-  std::printf(
+  rows.Close();
+
+  row = 0;
+  std::fprintf(stderr, "%16s%16s%16s%16s%16s%16s%16s\n", "n/p", "RBC.vt",
+               "MPI.alt.vt", "MPI.casc.vt", "MPIslow.vt", "MPIalt/RBC",
+               "MPIslow/RBC");
+  for (int lg = 0; lg <= max_log; lg += 2, ++row) {
+    std::fprintf(stderr,
+                 "%16.4f%16.4f%16.4f%16.4f%16.4f%16.4f%16.4f\n",
+                 static_cast<double>(1 << lg), rbc_vts[row], alt_vts[row],
+                 casc_vts[row], slow_vts[row],
+                 alt_vts[row] / std::max(rbc_vts[row], 1e-9),
+                 slow_vts[row] / std::max(rbc_vts[row], 1e-9));
+  }
+  std::fprintf(
+      stderr,
       "\n# Shape check: every MPI/RBC ratio is largest for small n/p "
       "(communicator creation\n# dominates) and decays toward 1 for large "
       "n/p; MPI.casc >= MPI.alt; the slow vendor\n# profile multiplies the "

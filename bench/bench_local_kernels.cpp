@@ -41,6 +41,44 @@ void BM_PartitionInPlace(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionInPlace)->Range(1 << 8, 1 << 18);
 
+/// Equidistant splitters over the uniform [0,1) input.
+std::vector<double> MakeSplitters(int k) {
+  std::vector<double> s(static_cast<std::size_t>(k) - 1);
+  for (int i = 1; i < k; ++i) {
+    s[static_cast<std::size_t>(i) - 1] = static_cast<double>(i) / k;
+  }
+  return s;
+}
+
+void BM_PartitionKWay(benchmark::State& state) {
+  const auto data = MakeInput(1 << 16);
+  const auto splitters = MakeSplitters(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = jsort::PartitionKWay(data, splitters);
+    benchmark::DoNotOptimize(r.elements.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_PartitionKWay)->RangeMultiplier(4)->Range(4, 1024);
+
+/// The seed's classification loop (per-element upper_bound + per-bucket
+/// push_back), kept as the baseline the branchless splitter tree replaces.
+void BM_PartitionKWayUpperBound(benchmark::State& state) {
+  const auto data = MakeInput(1 << 16);
+  const auto splitters = MakeSplitters(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::vector<double>> buckets(splitters.size() + 1);
+    for (double x : data) {
+      const auto it =
+          std::upper_bound(splitters.begin(), splitters.end(), x);
+      buckets[static_cast<std::size_t>(it - splitters.begin())].push_back(x);
+    }
+    benchmark::DoNotOptimize(buckets.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (1 << 16));
+}
+BENCHMARK(BM_PartitionKWayUpperBound)->RangeMultiplier(4)->Range(4, 1024);
+
 void BM_Quickselect(benchmark::State& state) {
   const auto data = MakeInput(state.range(0));
   for (auto _ : state) {

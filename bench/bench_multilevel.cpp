@@ -1,0 +1,80 @@
+// Multilevel sample sort over the exchange layer: vtime/wall per delivery
+// mode plus the maximum per-rank payload-message count of the whole sort
+// (from MultilevelStats) -- the startup-cost story of the AMS-style
+// group-wise exchange. The seed implementation paid one startup per piece
+// per level (k * levels per rank, empty and self pieces included); the
+// exchange-layer routing must stay strictly below that.
+//
+// stdout carries machine-readable JSON in the BENCH_alltoall.json schema
+// (extra keys: "messages" = max per-rank payload messages, "levels"):
+//   ./bench_multilevel > BENCH_multilevel.json
+// `--smoke` shrinks the sweep so CI can keep the code path green.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "sort/multilevel_sort.hpp"
+#include "sort/workload.hpp"
+
+namespace {
+
+benchutil::JsonRows rows;
+
+void EmitRow(const char* backend, int p, long long count,
+             const benchutil::Measurement& m, long long messages,
+             int levels) {
+  rows.Row("multilevel_sort", backend, p, count, m,
+           "\"messages\": " + std::to_string(messages) +
+               ", \"levels\": " + std::to_string(levels));
+}
+
+void Sweep(int p, int quota, int k, int reps) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
+  rt.Run([&](mpisim::Comm& world) {
+    for (auto mode : {jsort::exchange::Mode::kAlltoallv,
+                      jsort::exchange::Mode::kSparse,
+                      jsort::exchange::Mode::kAuto}) {
+      jsort::MultilevelConfig cfg;
+      cfg.k = k;
+      cfg.exchange_mode = mode;
+      double local_msgs = 0.0;
+      int levels = 0;
+      const auto m = benchutil::MeasureOnRanks(world, reps, [&] {
+        rbc::Comm rw;
+        rbc::Create_RBC_Comm(world, &rw);
+        auto tr = jsort::MakeRbcTransport(rw);
+        auto input = jsort::GenerateInput(jsort::InputKind::kUniform,
+                                          world.Rank(), p, quota, 7);
+        jsort::MultilevelStats stats;
+        jsort::MultilevelSampleSort(tr, std::move(input), cfg, &stats);
+        local_msgs = static_cast<double>(stats.messages_sent);
+        levels = stats.levels;
+      });
+      double max_msgs = 0.0;
+      mpisim::Allreduce(&local_msgs, &max_msgs, 1,
+                        mpisim::Datatype::kFloat64, mpisim::ReduceOp::kMax,
+                        world);
+      if (world.Rank() == 0) {
+        EmitRow(benchutil::ModeName(mode), p, quota, m,
+                static_cast<long long>(max_msgs), levels);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int reps = smoke ? 1 : 3;
+  if (smoke) {
+    Sweep(8, 32, 4, reps);
+  } else {
+    for (int p : {8, 16, 32}) {
+      for (int quota : {64, 1024}) Sweep(p, quota, 4, reps);
+    }
+  }
+  rows.Close();
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "mpisim/mpisim.hpp"
+#include "sort/exchange.hpp"
 
 namespace benchutil {
 
@@ -49,6 +50,38 @@ inline Measurement MeasureOnRanks(mpisim::Comm& world, int reps,
     return v[v.size() / 2];
   };
   return Measurement{median(walls), median(vts)};
+}
+
+/// Incremental emitter of the BENCH_*.json schema: one top-level JSON
+/// array of measurement objects sharing the keys bench/backend/p/count/
+/// vtime/wall_ms, with optional benchmark-specific extra fields appended
+/// as a preformatted `"key": value` fragment. Start rows with Row(),
+/// finish the stream with Close().
+class JsonRows {
+ public:
+  void Row(const char* bench, const char* backend, int p, long long count,
+           const Measurement& m, const std::string& extra = {}) {
+    std::printf("%s\n  {\"bench\": \"%s\", \"backend\": \"%s\", \"p\": %d, "
+                "\"count\": %lld, \"vtime\": %.6f, \"wall_ms\": %.4f%s%s}",
+                first_ ? "[" : ",", bench, backend, p, count, m.vtime,
+                m.wall_ms, extra.empty() ? "" : ", ", extra.c_str());
+    first_ = false;
+  }
+  void Close() { std::printf("%s\n]\n", first_ ? "[" : ""); }
+
+ private:
+  bool first_ = true;
+};
+
+/// Backend label of an exchange mode in the JSON rows.
+inline const char* ModeName(jsort::exchange::Mode mode) {
+  switch (mode) {
+    case jsort::exchange::Mode::kAlltoallv: return "dense";
+    case jsort::exchange::Mode::kCoalesced: return "coalesced";
+    case jsort::exchange::Mode::kSparse: return "sparse";
+    case jsort::exchange::Mode::kAuto: return "auto";
+  }
+  return "?";
 }
 
 /// Left-pads a string to the column width used by the tables.

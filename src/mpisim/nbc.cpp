@@ -1,5 +1,6 @@
 #include "mpisim/nbc.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -485,6 +486,86 @@ int NextTagPair(const Comm& comm) {
   return t * 2;  // even base; +1 used by the chained second stage
 }
 
+/// Sparse personalized exchange (see nbc.hpp). All three tags (payload +
+/// two barrier pairs) are drawn in the constructor, so the NBC tag counter
+/// stays synchronous across ranks even when other nonblocking collectives
+/// start on the communicator while this one is in flight.
+class SparseAlltoallvSM final : public RequestImpl {
+ public:
+  SparseAlltoallvSM(std::span<const SparseSendBlock> sends, Datatype dt,
+                    std::vector<SparseRecvMessage>* received, Comm comm)
+      : received_(received), comm_(std::move(comm)),
+        tag_(2 * comm_.NextNbcTag()), barrier_a_tag_(NextTagPair(comm_)),
+        barrier_b_tag_(NextTagPair(comm_)) {
+    if (received_ == nullptr) {
+      throw UsageError("IsparseAlltoallv: null receive vector");
+    }
+    first_incoming_ = received_->size();
+    const int p = comm_.Size();
+    for (const SparseSendBlock& b : sends) {
+      if (b.dest < 0 || b.dest >= p) {
+        throw UsageError("IsparseAlltoallv: destination out of range");
+      }
+      if (b.count < 0) {
+        throw UsageError("IsparseAlltoallv: negative count");
+      }
+      if (b.dest == comm_.Rank()) {
+        // Self block: local delivery, no message.
+        const auto* bytes = static_cast<const std::byte*>(b.data);
+        received_->push_back(SparseRecvMessage{
+            b.dest,
+            std::vector<std::byte>(bytes, bytes + Bytes(b.count, dt))});
+      } else {
+        SendOnChannel(b.data, b.count, dt, b.dest, tag_, comm_, kCh);
+      }
+    }
+    barrier_ = std::make_shared<IbarrierSM>(comm_, barrier_a_tag_);
+  }
+
+  bool Test(Status*) override {
+    if (phase_ == 0) {
+      Drain();
+      if (!barrier_->Progress(nullptr)) return false;
+      // Every rank has posted its sends (it entered barrier A after
+      // them), and eager deposit makes them all visible: this drain is
+      // exact.
+      Drain();
+      std::stable_sort(received_->begin() + static_cast<std::ptrdiff_t>(
+                                                first_incoming_),
+                       received_->end(),
+                       [](const SparseRecvMessage& a,
+                          const SparseRecvMessage& b) {
+                         return a.source < b.source;
+                       });
+      barrier_ = std::make_shared<IbarrierSM>(comm_, barrier_b_tag_);
+      phase_ = 1;
+    }
+    return barrier_->Progress(nullptr);
+  }
+
+ private:
+  void Drain() {
+    Status st;
+    while (IprobeOnChannel(kAnySource, tag_, comm_, kCh, &st)) {
+      SparseRecvMessage msg;
+      msg.source = st.source;
+      msg.bytes.resize(st.bytes);
+      RecvOnChannel(msg.bytes.data(), static_cast<int>(st.bytes),
+                    Datatype::kByte, st.source, tag_, comm_, kCh);
+      received_->push_back(std::move(msg));
+    }
+  }
+
+  std::vector<SparseRecvMessage>* received_;
+  Comm comm_;
+  int tag_;
+  int barrier_a_tag_;
+  int barrier_b_tag_;
+  std::size_t first_incoming_ = 0;
+  std::shared_ptr<IbarrierSM> barrier_;
+  int phase_ = 0;
+};
+
 }  // namespace
 }  // namespace detail
 
@@ -541,6 +622,14 @@ Request Ibarrier(const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Ibarrier: null communicator");
   return Request(
       std::make_shared<detail::IbarrierSM>(comm, detail::NextTagPair(comm)));
+}
+
+Request IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
+                         std::vector<SparseRecvMessage>* received,
+                         const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("IsparseAlltoallv: null communicator");
+  return Request(std::make_shared<detail::SparseAlltoallvSM>(
+      sends, dt, received, comm));
 }
 
 Request Ialltoall(const void* send, int count, Datatype dt, void* recv,

@@ -13,6 +13,7 @@
 // runs on the communicator's dedicated kNbc sub-channel.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -62,6 +63,39 @@ Request Ialltoallv(const void* send, std::span<const int> sendcounts,
                    std::span<const int> sdispls, Datatype dt, void* recv,
                    std::span<const int> recvcounts,
                    std::span<const int> rdispls, const Comm& comm);
+
+/// One outgoing block of a sparse personalized exchange: `count` elements
+/// of the operation's datatype to rank `dest`.
+struct SparseSendBlock {
+  int dest = 0;
+  const void* data = nullptr;
+  int count = 0;
+};
+
+/// One incoming message of a sparse personalized exchange: the raw payload
+/// bytes a rank sent to the caller.
+struct SparseRecvMessage {
+  int source = 0;
+  std::vector<std::byte> bytes;
+};
+
+/// Nonblocking sparse (neighborhood) personalized all-to-all in the spirit
+/// of the NBX algorithm (Hoefler, Siebert, Lumsdaine: "Scalable
+/// communication protocols for dynamic sparse data exchange"), adapted to
+/// the substrate's eager sends: each rank passes only the destinations it
+/// actually sends to -- there is no dense counts round and nothing is
+/// transmitted for absent destinations. Receivers discover their senders
+/// by probing; termination is detected with two lightweight barriers (the
+/// eager protocol deposits a payload into the destination mailbox before
+/// the sender enters the first barrier, so its completion bounds the
+/// messages still owed; the second fences the operation against a
+/// back-to-back successor). Collective; tags are drawn from the
+/// communicator's NBC counter. `*received` is appended with every
+/// incoming message, ordered by source rank; a block with dest == Rank()
+/// is delivered locally. Send blocks are copied out at call time.
+Request IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
+                         std::vector<SparseRecvMessage>* received,
+                         const Comm& comm);
 
 namespace detail {
 

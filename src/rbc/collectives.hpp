@@ -12,7 +12,9 @@
 // simultaneous nonblocking collectives on overlapping RBC communicators.
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 #include "rbc/comm.hpp"
 #include "rbc/request.hpp"
@@ -82,6 +84,7 @@ inline constexpr int RBC_IEXSCAN_TAG = kReservedTagBase + 24;  // +25 too
 inline constexpr int RBC_ISCATTER_TAG = kReservedTagBase + 26;
 inline constexpr int RBC_IALLTOALL_TAG = kReservedTagBase + 27;
 inline constexpr int RBC_IALLTOALLV_TAG = kReservedTagBase + 28;
+inline constexpr int RBC_SPARSE_ALLTOALLV_TAG = kReservedTagBase + 29;
 inline constexpr int kTagAllreduce = kReservedTagBase + 7;
 inline constexpr int kTagAllgather = kReservedTagBase + 8;
 inline constexpr int kTagExscan = kReservedTagBase + 9;  // +10 too
@@ -153,5 +156,36 @@ int Ialltoallv(const void* sendbuf, std::span<const int> sendcounts,
                std::span<const int> recvcounts, std::span<const int> rdispls,
                const Comm& comm, Request* request,
                int tag = RBC_IALLTOALLV_TAG);
+
+/// Sparse-exchange vocabulary, shared with the substrate's collective
+/// (mpisim::IsparseAlltoallv): one outgoing block per destination actually
+/// sent to (`dest` is an RBC rank here), one message per incoming payload.
+using SparseSendBlock = mpisim::SparseSendBlock;
+using SparseRecvMessage = mpisim::SparseRecvMessage;
+
+/// Sparse (neighborhood) personalized all-to-all: each rank passes only
+/// the destinations it actually sends to -- there is no dense counts round
+/// and nothing is transmitted for absent destinations. Receivers discover
+/// their senders through membership-filtered wildcard probes; termination
+/// is detected with a count of two lightweight barriers (the substrate's
+/// eager sends deposit into the destination before the sender enters the
+/// first barrier, so barrier completion bounds the messages still owed; the
+/// second barrier fences the operation against a back-to-back successor on
+/// the same tag). Per rank: one message per listed destination plus
+/// O(log p) barrier tokens, instead of the p-1 rounds of Alltoallv.
+///
+/// `*received` is appended with every incoming message, ordered by source
+/// rank (messages from one source stay in send order). A block with
+/// dest == Rank() bypasses the transport and is delivered locally. The
+/// payload tag also derives the barrier tags, so simultaneous sparse
+/// exchanges on overlapping communicators need distinct tags, like every
+/// other RBC collective.
+int SparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
+                    std::vector<SparseRecvMessage>* received,
+                    const Comm& comm, int tag = RBC_SPARSE_ALLTOALLV_TAG);
+int IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
+                     std::vector<SparseRecvMessage>* received,
+                     const Comm& comm, Request* request,
+                     int tag = RBC_SPARSE_ALLTOALLV_TAG);
 
 }  // namespace rbc

@@ -1,0 +1,134 @@
+// rbc::SparseAlltoallv -- sparse (neighborhood) personalized exchange over
+// an RBC range, in the spirit of the NBX algorithm (Hoefler, Siebert,
+// Lumsdaine: "Scalable communication protocols for dynamic sparse data
+// exchange") adapted to the substrate's eager sends.
+//
+// Phase A: post one eager send per listed destination (the substrate
+//   deposits the payload into the destination mailbox before the call
+//   returns), then enter barrier A, draining membership-filtered probes
+//   while it completes.
+// Phase B: barrier A complete means every member has posted all its sends,
+//   so every message owed to the caller already sits in the mailbox: drain
+//   until the probe reports nothing, then enter barrier B.
+// Phase C: barrier B fences the operation against its successor -- a
+//   member may post sends of a *following* sparse exchange on the same tag
+//   only after every rank finished draining this one, so the final drain
+//   of phase B can never steal them.
+//
+// Message budget per rank: one message per non-empty destination plus two
+// barrier traversals (O(log p) tokens), with no dense counts round at all.
+#include <algorithm>
+
+#include "rbc/collectives.hpp"
+#include "rbc/sm.hpp"
+
+namespace rbc {
+namespace detail {
+namespace {
+
+/// Barrier tags derived from the payload tag, in a reserved region far
+/// above the collective-tag maps of the library's users: two distinct
+/// sparse exchanges (distinct payload tags) never share barrier envelopes.
+constexpr int kSparseBarrierBase = kReservedTagBase + (1 << 22);
+
+class SparseAlltoallvSM final : public RequestImpl {
+ public:
+  SparseAlltoallvSM(std::span<const SparseSendBlock> sends, Datatype dt,
+                    std::vector<SparseRecvMessage>* received, Comm comm,
+                    int tag)
+      : dt_(dt), received_(received), comm_(std::move(comm)), tag_(tag) {
+    if (received_ == nullptr) {
+      throw mpisim::UsageError("rbc::SparseAlltoallv: null receive vector");
+    }
+    first_incoming_ = received_->size();
+    const int p = comm_.Size();
+    for (const SparseSendBlock& b : sends) {
+      if (b.dest < 0 || b.dest >= p) {
+        throw mpisim::UsageError("rbc::SparseAlltoallv: destination out of "
+                                 "range");
+      }
+      if (b.count < 0) {
+        throw mpisim::UsageError("rbc::SparseAlltoallv: negative count");
+      }
+      if (b.dest == comm_.Rank()) {
+        // Self block: local delivery, no message.
+        const auto* bytes = static_cast<const std::byte*>(b.data);
+        received_->push_back(SparseRecvMessage{
+            b.dest, std::vector<std::byte>(
+                        bytes, bytes + ByteCount(b.count, dt_))});
+      } else {
+        SendInternal(b.data, b.count, dt_, b.dest, tag_, comm_);
+      }
+    }
+    Ibarrier(comm_, &barrier_, kSparseBarrierBase + 2 * tag_);
+  }
+
+  bool Test(Status*) override {
+    if (phase_ == 0) {
+      Drain();
+      if (!barrier_.Poll()) return false;
+      // Every member has posted its sends (entered barrier A after them),
+      // and eager deposit makes them all visible: this drain is exact.
+      Drain();
+      std::stable_sort(received_->begin() + static_cast<std::ptrdiff_t>(
+                                                first_incoming_),
+                       received_->end(),
+                       [](const SparseRecvMessage& a,
+                          const SparseRecvMessage& b) {
+                         return a.source < b.source;
+                       });
+      Ibarrier(comm_, &barrier_, kSparseBarrierBase + 2 * tag_ + 1);
+      phase_ = 1;
+    }
+    return barrier_.Poll();
+  }
+
+ private:
+  void Drain() {
+    Status st;
+    while (IprobeInternal(kAnySource, tag_, comm_, &st)) {
+      SparseRecvMessage msg;
+      msg.source = st.source;
+      msg.bytes.resize(st.bytes);
+      RecvInternal(msg.bytes.data(), static_cast<int>(st.bytes),
+                   Datatype::kByte, st.source, tag_, comm_);
+      received_->push_back(std::move(msg));
+    }
+  }
+
+  Datatype dt_;
+  std::vector<SparseRecvMessage>* received_;
+  Comm comm_;
+  int tag_;
+  std::size_t first_incoming_ = 0;
+  Request barrier_;
+  int phase_ = 0;
+};
+
+}  // namespace
+}  // namespace detail
+
+int SparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
+                    std::vector<SparseRecvMessage>* received,
+                    const Comm& comm, int tag) {
+  detail::ValidateCollective(comm, 0, "SparseAlltoallv");
+  detail::RunToCompletion(
+      std::make_shared<detail::SparseAlltoallvSM>(sends, dt, received, comm,
+                                                  tag),
+      "SparseAlltoallv");
+  return 0;
+}
+
+int IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
+                     std::vector<SparseRecvMessage>* received,
+                     const Comm& comm, Request* request, int tag) {
+  detail::ValidateCollective(comm, 0, "IsparseAlltoallv");
+  if (request == nullptr) {
+    throw mpisim::UsageError("rbc::IsparseAlltoallv: null request");
+  }
+  *request = Request(std::make_shared<detail::SparseAlltoallvSM>(
+      sends, dt, received, comm, tag));
+  return 0;
+}
+
+}  // namespace rbc

@@ -1,5 +1,6 @@
 #include "sort/exchange.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <thread>
 
@@ -14,18 +15,24 @@ void WaitPoll(const Poll& p) {
   }
 }
 
-/// Globally consistent kAuto resolution. The decision must be identical on
-/// every rank of the group (receivers behave differently per mode), so it
-/// may only depend on quantities all ranks share: the group size and the
-/// segment count. An interval redistribution sends each segment to at most
-/// a handful of contiguous destinations (greedy chunks of a run no longer
-/// than the uniform quota span <= 4 ranks), so with k segments a rank
-/// reaches at most ~4k peers; coalescing wins once that is well under the
-/// p-1 rounds of the dense path.
+/// Globally consistent kAuto resolution for the segment exchange. The
+/// decision must be identical on every rank of the group (receivers
+/// behave differently per mode), so it may only depend on quantities all
+/// ranks share: the group size and the segment count. An interval
+/// redistribution sends each segment to at most a handful of contiguous
+/// destinations (greedy chunks of a run no longer than the uniform quota
+/// span <= 4 ranks), so with k segments a rank reaches at most ~4k peers
+/// -- the estimated non-empty-destination fraction is min(4k, p-1)/(p-1).
+/// At f >= 1/2 the dense path wins (most peers are hit anyway); below it
+/// the coalesced path: segment exchanges always know their receive
+/// expectations, and the expectation-terminated drain adds zero messages
+/// where the sparse collective would pay two barriers. (ExchangeGroupwise
+/// is the kAuto branch that resolves to kSparse: there receive counts are
+/// unknown and expectation-based termination is impossible.)
 Mode Resolve(Mode mode, int p, std::size_t k) {
   if (mode != Mode::kAuto) return mode;
   const std::int64_t max_targets = 4 * static_cast<std::int64_t>(k);
-  return 2 * max_targets < p - 1 ? Mode::kCoalesced : Mode::kAlltoallv;
+  return 2 * max_targets >= p - 1 ? Mode::kAlltoallv : Mode::kCoalesced;
 }
 
 /// Shared state of one in-flight segment exchange; the returned Poll holds
@@ -54,14 +61,35 @@ struct SegmentState {
   bool coalesced = false;
   bool done = false;
 
+  // Sparse-path state.
+  bool sparse = false;
+  std::vector<SparseDelivery> deliveries;
+
   bool Step();
   void StartDenseCountsRound();
   void FinishDense();
   bool DrainCoalesced();
+  void UnpackMessage(const std::byte* msg, std::size_t size);
 };
 
 bool SegmentState::Step() {
   if (done) return true;
+  if (sparse) {
+    if (!pending()) return false;
+    for (const SparseDelivery& d : deliveries) {
+      UnpackMessage(d.bytes.data(), d.bytes.size());
+    }
+    deliveries.clear();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (remaining[j] != 0) {
+        throw mpisim::Error(
+            "jsort::exchange: sparse exchange delivered a different element "
+            "count than the layout overlap");
+      }
+    }
+    done = true;
+    return true;
+  }
   if (coalesced) {
     if (!DrainCoalesced()) return false;
     done = true;
@@ -134,6 +162,38 @@ void SegmentState::FinishDense() {
   }
 }
 
+void SegmentState::UnpackMessage(const std::byte* msg, std::size_t size) {
+  // [int64 seg_counts[k]][segment payloads in order].
+  if (size < k * sizeof(std::int64_t)) {
+    throw mpisim::Error("jsort::exchange: malformed exchange message");
+  }
+  std::size_t off = k * sizeof(std::int64_t);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::int64_t n = 0;
+    std::memcpy(&n, msg + j * sizeof(std::int64_t), sizeof n);
+    if (n < 0 ||
+        static_cast<std::size_t>(n) > (size - off) / sizeof(double)) {
+      throw mpisim::Error(
+          "jsort::exchange: exchange message payload disagrees with its "
+          "header");
+    }
+    if (n != 0) {
+      std::vector<double>& sink = *segments[j].sink;
+      const std::size_t old = sink.size();
+      sink.resize(old + static_cast<std::size_t>(n));
+      std::memcpy(sink.data() + old, msg + off,
+                  static_cast<std::size_t>(n) * sizeof(double));
+      off += static_cast<std::size_t>(n) * sizeof(double);
+      remaining[j] -= n;
+    }
+    if (remaining[j] < 0) {
+      throw mpisim::Error(
+          "jsort::exchange: received more elements than the layout "
+          "overlap");
+    }
+  }
+}
+
 bool SegmentState::DrainCoalesced() {
   bool all = true;
   for (std::size_t j = 0; j < k; ++j) all &= remaining[j] == 0;
@@ -143,27 +203,9 @@ bool SegmentState::DrainCoalesced() {
     std::vector<std::byte> msg(st.bytes);
     tr->Recv(msg.data(), static_cast<int>(st.bytes), Datatype::kByte,
              st.source, tag);
-    std::size_t off = k * sizeof(std::int64_t);
+    UnpackMessage(msg.data(), msg.size());
     all = true;
-    for (std::size_t j = 0; j < k; ++j) {
-      std::int64_t n = 0;
-      std::memcpy(&n, msg.data() + j * sizeof(std::int64_t), sizeof n);
-      if (n != 0) {
-        std::vector<double>& sink = *segments[j].sink;
-        const std::size_t old = sink.size();
-        sink.resize(old + static_cast<std::size_t>(n));
-        std::memcpy(sink.data() + old, msg.data() + off,
-                    static_cast<std::size_t>(n) * sizeof(double));
-        off += static_cast<std::size_t>(n) * sizeof(double);
-        remaining[j] -= n;
-      }
-      if (remaining[j] < 0) {
-        throw mpisim::Error(
-            "jsort::exchange: received more elements than the layout "
-            "overlap");
-      }
-      all &= remaining[j] == 0;
-    }
+    for (std::size_t j = 0; j < k; ++j) all &= remaining[j] == 0;
   }
   return true;
 }
@@ -204,28 +246,48 @@ std::vector<double> ExchangeBuckets(
     throw mpisim::UsageError(
         "jsort::exchange::ExchangeBuckets: one bucket per rank required");
   }
-  const int me = tr.Rank();
+  // Flatten into the bucket-major layout of the flat variant and forward.
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int i = 0; i < p; ++i) {
+    offsets[static_cast<std::size_t>(i) + 1] =
+        offsets[static_cast<std::size_t>(i)] +
+        static_cast<std::int64_t>(buckets[static_cast<std::size_t>(i)].size());
+  }
+  std::vector<double> flat(static_cast<std::size_t>(offsets.back()));
+  for (int i = 0; i < p; ++i) {
+    std::copy(buckets[static_cast<std::size_t>(i)].begin(),
+              buckets[static_cast<std::size_t>(i)].end(),
+              flat.begin() + offsets[static_cast<std::size_t>(i)]);
+  }
+  return ExchangeBuckets(tr, flat, offsets, tag, stats);
+}
 
-  // Flatten the non-self buckets in rank order; the self bucket skips the
-  // exchange entirely and is copied straight into its output slot below.
+std::vector<double> ExchangeBuckets(Transport& tr,
+                                    std::span<const double> elements,
+                                    std::span<const std::int64_t> offsets,
+                                    int tag, ExchangeStats* stats) {
+  const int p = tr.Size();
+  const int me = tr.Rank();
+  if (static_cast<int>(offsets.size()) != p + 1) {
+    throw mpisim::UsageError(
+        "jsort::exchange::ExchangeBuckets: offsets must have Size()+1 "
+        "entries");
+  }
+  // Bucket-major input needs no send-side copy: the per-peer blocks are
+  // already contiguous, and the self bucket rides along as a zero-count
+  // gap (copied locally below).
   std::vector<int> sendcounts(static_cast<std::size_t>(p)),
       sdispls(static_cast<std::size_t>(p));
   std::vector<std::int64_t> my_counts(static_cast<std::size_t>(p));
   std::int64_t total_out = 0;
   for (int i = 0; i < p; ++i) {
-    const auto n = static_cast<std::int64_t>(
-        buckets[static_cast<std::size_t>(i)].size());
+    const std::int64_t n = offsets[static_cast<std::size_t>(i) + 1] -
+                           offsets[static_cast<std::size_t>(i)];
     my_counts[static_cast<std::size_t>(i)] = n;
     sendcounts[static_cast<std::size_t>(i)] = i == me ? 0 : static_cast<int>(n);
-    sdispls[static_cast<std::size_t>(i)] = static_cast<int>(total_out);
-    total_out += sendcounts[static_cast<std::size_t>(i)];
-  }
-  std::vector<double> sendbuf(static_cast<std::size_t>(total_out));
-  for (int i = 0; i < p; ++i) {
-    if (i == me) continue;
-    const auto& b = buckets[static_cast<std::size_t>(i)];
-    std::copy(b.begin(), b.end(),
-              sendbuf.begin() + sdispls[static_cast<std::size_t>(i)]);
+    sdispls[static_cast<std::size_t>(i)] =
+        static_cast<int>(offsets[static_cast<std::size_t>(i)]);
+    if (i != me) total_out += n;
   }
 
   // Counts round: one int64 per peer.
@@ -238,7 +300,7 @@ std::vector<double> ExchangeBuckets(
 
   // Payload round. The self block is a zero-count gap in the exchange
   // (matching sendcounts[me] == 0 above); its slot in `out` is filled
-  // directly from the bucket.
+  // directly from the input.
   std::vector<int> recvcounts(static_cast<std::size_t>(p)),
       rdispls(static_cast<std::size_t>(p));
   std::int64_t total_in = 0;
@@ -249,17 +311,131 @@ std::vector<double> ExchangeBuckets(
     total_in += in_counts[static_cast<std::size_t>(i)];
   }
   std::vector<double> out(static_cast<std::size_t>(total_in));
-  const auto& self = buckets[static_cast<std::size_t>(me)];
-  std::copy(self.begin(), self.end(),
+  std::copy(elements.begin() + offsets[static_cast<std::size_t>(me)],
+            elements.begin() + offsets[static_cast<std::size_t>(me) + 1],
             out.begin() + rdispls[static_cast<std::size_t>(me)]);
-  WaitPoll(tr.Ialltoallv(sendbuf.data(), sendcounts, sdispls,
+  WaitPoll(tr.Ialltoallv(elements.data(), sendcounts, sdispls,
                          Datatype::kFloat64, out.data(), recvcounts, rdispls,
                          tag));
   if (stats != nullptr) {
     stats->messages_sent += p - 1;
-    stats->elements_sent += total_out;  // self excluded from the flatten
+    stats->elements_sent += total_out;  // self excluded
   }
   return out;
+}
+
+std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
+                                      std::span<const Outgoing> out, int tag,
+                                      Mode mode, ExchangeStats* stats) {
+  if (tr == nullptr) {
+    throw mpisim::UsageError("jsort::exchange::ExchangeGroupwise: null "
+                             "transport");
+  }
+  const int p = tr->Size();
+  const int me = tr->Rank();
+
+  // Globally consistent resolution from the entry count (identical on
+  // every rank by contract): a rank reaches at most out.size() peers, so
+  // the estimated non-empty-destination fraction is out.size()/(p-1).
+  // Coalesced delivery needs known receive counts, which this entry point
+  // exists to avoid -- it degrades to the sparse collective.
+  Mode resolved = mode;
+  if (resolved == Mode::kAuto) {
+    const auto max_targets = static_cast<std::int64_t>(out.size());
+    resolved = 2 * max_targets >= p - 1 ? Mode::kAlltoallv : Mode::kSparse;
+  }
+  if (resolved == Mode::kCoalesced) resolved = Mode::kSparse;
+
+  // Per-destination element totals (entries to one destination coalesce,
+  // in entry order).
+  std::vector<std::int64_t> to(static_cast<std::size_t>(p), 0);
+  for (const Outgoing& o : out) {
+    if (o.dest < 0 || o.dest >= p) {
+      throw mpisim::UsageError(
+          "jsort::exchange::ExchangeGroupwise: destination out of range");
+    }
+    if (o.count < 0) {
+      throw mpisim::UsageError(
+          "jsort::exchange::ExchangeGroupwise: negative count");
+    }
+    to[static_cast<std::size_t>(o.dest)] += o.count;
+  }
+  std::int64_t nonempty = 0, elements = 0;
+  for (int d = 0; d < p; ++d) {
+    if (d == me || to[static_cast<std::size_t>(d)] == 0) continue;
+    ++nonempty;
+    elements += to[static_cast<std::size_t>(d)];
+  }
+  if (stats != nullptr) {
+    stats->messages_sent += resolved == Mode::kSparse
+                                ? nonempty
+                                : static_cast<std::int64_t>(p - 1);
+    stats->elements_sent += elements;
+  }
+
+  if (resolved == Mode::kSparse) {
+    // One raw-payload message per non-empty destination; the self block
+    // joins the sparse call so the collective's source-ordered delivery
+    // already interleaves it correctly. A destination fed by one entry
+    // (the only case the multilevel sorter produces) ships straight from
+    // the caller's buffer -- the collective copies blocks out at call
+    // time; only multi-entry destinations need a coalescing buffer.
+    std::vector<int> entries(static_cast<std::size_t>(p), 0);
+    for (const Outgoing& o : out) {
+      if (o.count != 0) ++entries[static_cast<std::size_t>(o.dest)];
+    }
+    std::vector<std::vector<double>> msgs(static_cast<std::size_t>(p));
+    std::vector<SparseBlock> blocks;
+    for (const Outgoing& o : out) {
+      if (o.count == 0) continue;
+      const auto di = static_cast<std::size_t>(o.dest);
+      if (entries[di] == 1) {
+        blocks.push_back(
+            SparseBlock{o.dest, o.data, static_cast<int>(o.count)});
+      } else {
+        msgs[di].insert(msgs[di].end(), o.data, o.data + o.count);
+      }
+    }
+    for (int d = 0; d < p; ++d) {
+      const auto& m = msgs[static_cast<std::size_t>(d)];
+      if (m.empty()) continue;
+      blocks.push_back(
+          SparseBlock{d, m.data(), static_cast<int>(m.size())});
+    }
+    std::vector<SparseDelivery> deliveries;
+    WaitPoll(tr->IsparseAlltoallv(blocks, Datatype::kFloat64, &deliveries,
+                                  tag));
+    std::int64_t total = 0;
+    for (const SparseDelivery& d : deliveries) {
+      total += static_cast<std::int64_t>(d.bytes.size() / sizeof(double));
+    }
+    std::vector<double> result(static_cast<std::size_t>(total));
+    std::size_t cursor = 0;
+    for (const SparseDelivery& d : deliveries) {
+      std::memcpy(result.data() + cursor, d.bytes.data(), d.bytes.size());
+      cursor += d.bytes.size() / sizeof(double);
+    }
+    return result;
+  }
+
+  // Dense path: group the payload by destination and run the counts +
+  // payload rounds; the flat bucket exchange already implements exactly
+  // that (self bucket included as a local copy).
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(p) + 1, 0);
+  for (int d = 0; d < p; ++d) {
+    offsets[static_cast<std::size_t>(d) + 1] =
+        offsets[static_cast<std::size_t>(d)] +
+        to[static_cast<std::size_t>(d)];
+  }
+  std::vector<double> flat(static_cast<std::size_t>(offsets.back()));
+  std::vector<std::int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Outgoing& o : out) {
+    if (o.count == 0) continue;
+    std::copy(o.data, o.data + o.count,
+              flat.begin() + cursor[static_cast<std::size_t>(o.dest)]);
+    cursor[static_cast<std::size_t>(o.dest)] += o.count;
+  }
+  return ExchangeBuckets(*tr, flat, offsets, tag, nullptr);
 }
 
 Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
@@ -303,7 +479,9 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
     }
   }
 
-  st->coalesced = Resolve(mode, st->p, st->k) == Mode::kCoalesced;
+  const Mode resolved = Resolve(mode, st->p, st->k);
+  st->coalesced = resolved == Mode::kCoalesced;
+  st->sparse = resolved == Mode::kSparse;
 
   // Per-destination totals (and traffic accounting) are mode-independent.
   std::int64_t nonempty = 0, elements = 0;
@@ -324,17 +502,20 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
     }
   }
   if (stats != nullptr) {
-    stats->messages_sent +=
-        st->coalesced ? nonempty : static_cast<std::int64_t>(st->p - 1);
+    stats->messages_sent += st->coalesced || st->sparse
+                                ? nonempty
+                                : static_cast<std::int64_t>(st->p - 1);
     stats->elements_sent += elements;
   }
 
-  if (st->coalesced) {
+  if (st->coalesced || st->sparse) {
     // One self-describing message per non-empty destination:
     // [int64 seg_counts[k]][segment payloads in order]. Built in a single
     // chunk walk per segment with per-destination write cursors (segments
     // are visited in order, so each message's payload is segment-ordered).
-    // Sends are eager; the Poll only drains this rank's own expectations.
+    // The coalesced path ships them as eager sends and the Poll drains
+    // this rank's own expectations; the sparse path hands them to the
+    // transport's barrier-terminated sparse collective instead.
     const std::size_t header = st->k * sizeof(std::int64_t);
     std::vector<std::vector<std::byte>> msgs(
         static_cast<std::size_t>(st->p));
@@ -366,11 +547,26 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
         read += c.count;
       }
     }
-    for (int d = 0; d < st->p; ++d) {
-      const auto& msg = msgs[static_cast<std::size_t>(d)];
-      if (msg.empty()) continue;
-      st->tr->Send(msg.data(), static_cast<int>(msg.size()), Datatype::kByte,
-                   d, tag);
+    if (st->sparse) {
+      std::vector<SparseBlock> blocks;
+      blocks.reserve(static_cast<std::size_t>(nonempty));
+      for (int d = 0; d < st->p; ++d) {
+        const auto& msg = msgs[static_cast<std::size_t>(d)];
+        if (msg.empty()) continue;
+        blocks.push_back(SparseBlock{d, msg.data(),
+                                     static_cast<int>(msg.size())});
+      }
+      // The collective copies the blocks out eagerly, so `msgs` may die
+      // with this scope.
+      st->pending = st->tr->IsparseAlltoallv(blocks, Datatype::kByte,
+                                             &st->deliveries, tag);
+    } else {
+      for (int d = 0; d < st->p; ++d) {
+        const auto& msg = msgs[static_cast<std::size_t>(d)];
+        if (msg.empty()) continue;
+        st->tr->Send(msg.data(), static_cast<int>(msg.size()),
+                     Datatype::kByte, d, tag);
+      }
     }
     return [st] { return st->Step(); };
   }

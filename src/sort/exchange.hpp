@@ -8,7 +8,7 @@
 // jsort::Transport abstraction, so the same code runs on RBC, native-MPI
 // and Icomm backends.
 //
-// Two delivery paths are provided:
+// Three delivery paths are provided:
 //  * the dense Alltoallv path -- a counts exchange followed by a payload
 //    Transport::Ialltoallv. Predictable p-1 message rounds, right when
 //    most destinations receive something (single-level sample sort);
@@ -18,11 +18,33 @@
 //    all segments destined to one rank ship as a single self-describing
 //    message ([int64 counts[k]][payload]), and receivers drain
 //    membership-filtered probes until their precomputed expectations are
-//    met. One startup per non-empty destination, zero metadata rounds.
+//    met. One startup per non-empty destination, zero metadata rounds;
+//  * the sparse path -- the same self-describing one-message-per-non-empty-
+//    destination shipping, but delivered over the transport's sparse
+//    collective (Transport::IsparseAlltoallv), whose two-lightweight-
+//    barrier termination detection replaces the coalesced path's
+//    expectation-driven drain. One startup per non-empty destination plus
+//    O(log p) barrier tokens; the only sparse option when receive counts
+//    are unknown (ExchangeGroupwise), and the robust choice at scale.
+//
+// kAuto resolves among the three from globally shared quantities only (the
+// decision must be identical on every rank): the non-empty-destination
+// fraction, estimated as f = min(4k, p-1) / (p-1) for a segment exchange
+// (a segment of an interval redistribution spans at most ~4 ranks, so k
+// segments reach at most 4k peers) and as out.size() / (p-1) for a
+// group-wise exchange. f >= 1/2 picks the dense path (most peers are hit
+// anyway, and the pairwise Alltoallv schedule avoids contention). Below
+// that the exchange is skewed and a sparse-style path wins; which one
+// depends on whether receive expectations exist: segment exchanges know
+// them from the layout arithmetic, so they take the coalesced path (its
+// expectation-driven termination adds zero messages), while group-wise
+// exchanges cannot know their receive counts and take the sparse path
+// (barrier-based termination, O(log p) tokens).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sort/assignment.hpp"
@@ -42,8 +64,12 @@ struct ExchangeStats {
 /// Delivery path selection.
 enum class Mode {
   kAlltoallv,  // dense: counts exchange + Transport::Ialltoallv
-  kCoalesced,  // sparse: one self-describing message per destination
-  kAuto,       // kCoalesced when few destinations are non-empty, else dense
+  kCoalesced,  // skewed: one self-describing message per destination,
+               // expectation-terminated probe drain
+  kSparse,     // skewed: one message per destination over the transport's
+               // sparse collective (barrier-terminated, no expectations)
+  kAuto,       // dense / coalesced / sparse by the estimated non-empty-
+               // destination fraction (see the header comment)
 };
 
 /// Exclusive prefix sum of per-rank element counts over the transport --
@@ -69,6 +95,45 @@ SendPlan PlanFromInterval(const CapacityLayout& layout,
 std::vector<double> ExchangeBuckets(
     Transport& tr, const std::vector<std::vector<double>>& buckets, int tag,
     ExchangeStats* stats = nullptr);
+
+/// Flat-bucket variant: bucket i occupies elements [offsets[i],
+/// offsets[i+1]) of `elements` (offsets has Size()+1 entries) -- the
+/// layout PartitionKWay produces, exchanged without per-bucket copies.
+std::vector<double> ExchangeBuckets(Transport& tr,
+                                    std::span<const double> elements,
+                                    std::span<const std::int64_t> offsets,
+                                    int tag, ExchangeStats* stats = nullptr);
+
+/// One outgoing payload of a group-wise (AMS-style) exchange: `count`
+/// elements to group rank `dest`. Entries may be empty; they are not
+/// transmitted.
+struct Outgoing {
+  int dest = 0;
+  const double* data = nullptr;
+  std::int64_t count = 0;
+};
+
+/// Blocking group-wise redistribution for exchanges whose receive counts
+/// are *not* known in advance -- the multilevel sorter routes each local
+/// piece to one deterministically assigned member of its destination
+/// group, and a receiver cannot predict how many elements (or which
+/// non-empty pieces) will arrive. Ships one message per non-empty non-self
+/// destination and returns everything received, concatenated in source-
+/// rank order (self-destined entries bypass the transport).
+///
+/// kSparse (and kAuto below the dense threshold) delivers over the
+/// transport's sparse collective; kAlltoallv runs the dense counts +
+/// payload rounds. kCoalesced degrades to kSparse: its expectation-driven
+/// termination requires known receive counts, which this entry point is
+/// for exchanges without. The kAuto decision uses `out.size()` and the
+/// group size, so every rank must pass the same number of entries (include
+/// the empty ones). `stats`, if non-null, is incremented by the payload
+/// traffic (barrier/counts metadata excluded, as everywhere in this
+/// layer).
+std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
+                                      std::span<const Outgoing> out, int tag,
+                                      Mode mode = Mode::kAuto,
+                                      ExchangeStats* stats = nullptr);
 
 /// One logically-contiguous run of elements to redistribute, plus where
 /// its incoming counterpart accumulates.

@@ -4,6 +4,7 @@
 #include <random>
 #include <thread>
 
+#include "sort/partition.hpp"
 #include "sort/sampling.hpp"
 
 namespace jsort {
@@ -29,11 +30,12 @@ struct GroupLayout {
   }
   int SizeOfGroup(int g) const { return Begin(g + 1) - Begin(g); }
   int GroupOfRank(int r) const {
-    // Inverse of Begin; k is tiny, linear scan is fine.
-    for (int g = 0; g < k; ++g) {
-      if (r < Begin(g + 1)) return g;
-    }
-    return k - 1;
+    // O(1) arithmetic inverse of Begin: the first p%k groups are one rank
+    // wider and jointly cover the first (base+1)*(p%k) ranks.
+    const int base = p / k;
+    const int extra = p % k;
+    const int wide = (base + 1) * extra;
+    return r < wide ? r / (base + 1) : extra + (r - wide) / base;
   }
 };
 
@@ -83,53 +85,34 @@ std::vector<double> MultilevelSampleSort(
                         kTagSplitter + level);
     WaitPoll(b);
 
-    // 2) Partition into k pieces by binary search over the splitters.
-    std::vector<std::vector<double>> pieces(static_cast<std::size_t>(k));
-    for (double x : local) {
-      const auto it =
-          std::upper_bound(splitters.begin(), splitters.end(), x);
-      pieces[static_cast<std::size_t>(it - splitters.begin())].push_back(x);
-    }
+    // 2) Partition into k pieces with the branchless splitter-tree kernel.
+    const KWayBuckets pieces = PartitionKWay(local, splitters);
     local.clear();
     local.shrink_to_fit();
 
-    // 3) Route piece g to one member of group g (sender r picks member
-    //    r % |group g|, spreading senders evenly). Every rank can compute
-    //    how many messages it expects: senders mapped onto it.
-    const int my_group = groups.GroupOfRank(rank);
-    const int my_index = rank - groups.Begin(my_group);
-    const int my_group_size = groups.SizeOfGroup(my_group);
-    // Senders r with r % my_group_size == my_index.
-    int expected = 0;
-    for (int r = 0; r < p; ++r) {
-      if (r % my_group_size == my_index) ++expected;
-    }
-
-    const int tag = kTagPieceBase + level;
+    // 3) AMS-style group-wise exchange: sender r deterministically assigns
+    //    piece g to group-g member Begin(g) + r % |group g|, spreading
+    //    senders evenly, and ships all pieces through the exchange layer.
+    //    Only non-empty pieces cost a message startup; receivers need no
+    //    precomputed expectations (the layer's sparse collective detects
+    //    termination), so empty pieces are simply never sent.
+    std::vector<exchange::Outgoing> out(static_cast<std::size_t>(k));
     for (int piece = 0; piece < k; ++piece) {
-      const int gs = groups.SizeOfGroup(piece);
-      const int member = groups.Begin(piece) + rank % gs;
-      const auto& data = pieces[static_cast<std::size_t>(piece)];
-      tr->Send(data.data(), static_cast<int>(data.size()),
-               Datatype::kFloat64, member, tag);
-      if (stats != nullptr) ++stats->messages_sent;
+      const int member =
+          groups.Begin(piece) + rank % groups.SizeOfGroup(piece);
+      out[static_cast<std::size_t>(piece)] = exchange::Outgoing{
+          member, pieces.Bucket(piece).data(), pieces.Count(piece)};
     }
-    std::vector<double> received;
-    for (int got = 0; got < expected; ++got) {
-      Status st;
-      bool found = false;
-      while (!found) {
-        found = tr->IprobeAny(tag, &st);
-        if (!found) std::this_thread::yield();
-      }
-      const int n = st.Count(Datatype::kFloat64);
-      const std::size_t old = received.size();
-      received.resize(old + static_cast<std::size_t>(n));
-      tr->Recv(received.data() + old, n, Datatype::kFloat64, st.source, tag);
+    exchange::ExchangeStats es;
+    local = exchange::ExchangeGroupwise(tr, out, kTagPieceBase + level,
+                                        cfg.exchange_mode, &es);
+    if (stats != nullptr) {
+      stats->messages_sent += es.messages_sent;
+      stats->level_stats.push_back(es);
     }
-    local = std::move(received);
 
     // 4) Recurse within my group (O(1) local split with RBC).
+    const int my_group = groups.GroupOfRank(rank);
     tr = tr->Split(groups.Begin(my_group), groups.Begin(my_group + 1) - 1);
     ++level;
   }

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "sort/exchange.hpp"
+#include "sort/partition.hpp"
 #include "sort/sampling.hpp"
 
 namespace jsort {
@@ -63,13 +64,9 @@ std::vector<double> SampleSort(const std::shared_ptr<Transport>& world,
                      kTagSplitter);
   WaitPoll(b);
 
-  // 2) Local partition into p buckets by binary search over the splitters.
-  std::vector<std::vector<double>> buckets(static_cast<std::size_t>(p));
-  for (double x : local) {
-    const auto it =
-        std::upper_bound(splitters.begin(), splitters.end(), x);
-    buckets[static_cast<std::size_t>(it - splitters.begin())].push_back(x);
-  }
+  // 2) Local partition into p buckets with the branchless splitter-tree
+  //    kernel (bucket-major flat layout, ready for the flat exchange).
+  KWayBuckets buckets = PartitionKWay(local, splitters);
   local.clear();
   local.shrink_to_fit();
 
@@ -78,9 +75,9 @@ std::vector<double> SampleSort(const std::shared_ptr<Transport>& world,
   //    rank pays exactly p-1 payload startups -- the p-1 startups of
   //    Section IV.
   exchange::ExchangeStats es;
-  std::vector<double> out =
-      exchange::ExchangeBuckets(tr, buckets, kTagBucket, &es);
-  buckets.clear();
+  std::vector<double> out = exchange::ExchangeBuckets(
+      tr, buckets.elements, buckets.offsets, kTagBucket, &es);
+  buckets.elements.clear();
   if (stats != nullptr) stats->messages_sent += es.messages_sent;
 
   // 4) Local sort of the received bucket.

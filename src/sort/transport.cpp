@@ -83,6 +83,14 @@ class RbcTransport final : public Transport {
     return WrapRbc(std::move(req));
   }
 
+  Poll IsparseAlltoallv(std::span<const SparseBlock> sends, Datatype dt,
+                        std::vector<SparseDelivery>* received,
+                        int tag) override {
+    rbc::Request req;
+    rbc::IsparseAlltoallv(sends, dt, received, comm_, &req, tag);
+    return WrapRbc(std::move(req));
+  }
+
   void Send(const void* buf, int count, Datatype dt, int dest,
             int tag) override {
     rbc::Send(buf, count, dt, dest, tag, comm_);
@@ -153,6 +161,12 @@ class MpiTransportBase : public Transport {
                   std::span<const int> rdispls, int /*tag*/) override {
     return WrapMpi(mpisim::Ialltoallv(send, sendcounts, sdispls, dt, recv,
                                       recvcounts, rdispls, comm_));
+  }
+
+  Poll IsparseAlltoallv(std::span<const SparseBlock> sends, Datatype dt,
+                        std::vector<SparseDelivery>* received,
+                        int /*tag*/) override {
+    return WrapMpi(mpisim::IsparseAlltoallv(sends, dt, received, comm_));
   }
 
   void Send(const void* buf, int count, Datatype dt, int dest,

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "mpisim/mpisim.hpp"
 #include "rbc/rbc.hpp"
@@ -30,6 +31,12 @@ using Poll = std::function<bool()>;
 using Datatype = mpisim::Datatype;
 using ReduceOp = mpisim::ReduceOp;
 using Status = mpisim::Status;
+
+/// Sparse-exchange vocabulary, shared with the RBC collective: one
+/// outgoing block per destination actually sent to, one delivery per
+/// incoming message (raw payload bytes, tagged with the source rank).
+using SparseBlock = rbc::SparseSendBlock;
+using SparseDelivery = rbc::SparseRecvMessage;
 
 class Transport {
  public:
@@ -60,6 +67,22 @@ class Transport {
                           std::span<const int> sdispls, Datatype dt,
                           void* recv, std::span<const int> recvcounts,
                           std::span<const int> rdispls, int tag) = 0;
+
+  /// Sparse (neighborhood) personalized exchange: only the listed blocks
+  /// are transmitted -- no dense counts round, nothing for absent
+  /// destinations. Collective over the group. The Poll completes once
+  /// every incoming message of this operation has been appended to
+  /// `*received`, ordered by source rank; termination is detected by the
+  /// backend (two lightweight barriers), so receive counts need not be
+  /// known anywhere. Send blocks are copied out at call time; `received`
+  /// must stay alive until completion. As with the other collectives, the
+  /// tag disambiguates simultaneous operations on overlapping RBC groups
+  /// (back-to-back exchanges on one tag are safe -- the second barrier
+  /// fences them); context-isolated transports may ignore it.
+  virtual Poll IsparseAlltoallv(std::span<const SparseBlock> sends,
+                                Datatype dt,
+                                std::vector<SparseDelivery>* received,
+                                int tag) = 0;
 
   // Point-to-point. Send is eager (completes locally); IprobeAny reports
   // only messages whose source belongs to this group.

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -149,10 +151,10 @@ void RotationExchange(const std::shared_ptr<Transport>& tr, Mode mode) {
   EXPECT_EQ(sink, expect);
   if (p > 1) {
     EXPECT_EQ(stats.elements_sent, kCap);
-    if (mode == Mode::kCoalesced) {
-      EXPECT_EQ(stats.messages_sent, 1);  // sparse: one real destination
-    } else {
+    if (mode == Mode::kAlltoallv) {
       EXPECT_EQ(stats.messages_sent, p - 1);  // dense rounds
+    } else {
+      EXPECT_EQ(stats.messages_sent, 1);  // skewed: one real destination
     }
   }
 }
@@ -161,6 +163,13 @@ TEST_P(ExchangeSweep, SegmentExchangeCoalescedRotation) {
   const Backend b = GetParam();
   RunRanks(6, [&](mpisim::Comm& world) {
     RotationExchange(Make(b, world), Mode::kCoalesced);
+  });
+}
+
+TEST_P(ExchangeSweep, SegmentExchangeSparseRotation) {
+  const Backend b = GetParam();
+  RunRanks(6, [&](mpisim::Comm& world) {
+    RotationExchange(Make(b, world), Mode::kSparse);
   });
 }
 
@@ -250,6 +259,158 @@ TEST_P(ExchangeSweep, TwoRegionSegmentExchangeDense) {
   });
 }
 
+TEST_P(ExchangeSweep, TwoRegionSegmentExchangeSparse) {
+  const Backend b = GetParam();
+  RunRanks(7, [&](mpisim::Comm& world) {
+    TwoRegionExchange(Make(b, world), Mode::kSparse);
+  });
+}
+
+/// Randomized equivalence sweep: a globally-agreed random region split and
+/// random per-rank slot runs (uniform and skewed layouts), exchanged under
+/// every mode -- all modes must deliver exactly the same per-region
+/// elements.
+void RandomizedEquivalence(const std::shared_ptr<Transport>& tr,
+                           std::uint64_t seed, bool skewed) {
+  const int p = tr->Size();
+  const int me = tr->Rank();
+  // Layout and cut points are drawn from a seed-keyed rng every rank runs
+  // identically, so all decisions stay globally consistent.
+  std::mt19937_64 shared(seed);
+  const std::int64_t quota = 6 + static_cast<std::int64_t>(shared() % 6);
+  CapacityLayout layout{.p = p, .quota = quota, .cap_first = quota,
+                        .cap_last = quota};
+  if (skewed && p > 1) {
+    layout.cap_first = 1 + static_cast<std::int64_t>(shared() % quota);
+    layout.cap_last = 1 + static_cast<std::int64_t>(shared() % quota);
+  }
+  const std::int64_t total = layout.Total();
+
+  // R regions split the slot space at sorted random cuts; rank r's run is
+  // the r-th of p random slot intervals.
+  constexpr int kRegions = 3;
+  std::vector<std::int64_t> region_cuts{0};
+  for (int i = 1; i < kRegions; ++i) {
+    region_cuts.push_back(static_cast<std::int64_t>(shared() % (total + 1)));
+  }
+  region_cuts.push_back(total);
+  std::sort(region_cuts.begin(), region_cuts.end());
+  std::vector<std::int64_t> run_cuts{0};
+  for (int i = 1; i < p; ++i) {
+    run_cuts.push_back(static_cast<std::int64_t>(shared() % (total + 1)));
+  }
+  run_cuts.push_back(total);
+  std::sort(run_cuts.begin(), run_cuts.end());
+  const std::int64_t run_begin = run_cuts[static_cast<std::size_t>(me)];
+  const std::int64_t run_end = run_cuts[static_cast<std::size_t>(me) + 1];
+
+  // My run's slice of each region becomes one segment; data = slot values.
+  std::vector<double> data(static_cast<std::size_t>(run_end - run_begin));
+  for (std::int64_t i = 0; i < run_end - run_begin; ++i) {
+    data[static_cast<std::size_t>(i)] = static_cast<double>(run_begin + i);
+  }
+  // One tag per mode run: back-to-back segment exchanges on one tag are
+  // not safe for the probe-draining paths (a fast rank's next-run sends
+  // could be drained into a slow rank's current run) -- the same reason
+  // jquick tags each level distinctly.
+  auto run_once = [&](Mode mode, int tag) {
+    std::vector<std::vector<double>> sinks(kRegions);
+    std::vector<Segment> segs;
+    for (int rg = 0; rg < kRegions; ++rg) {
+      const std::int64_t a =
+          std::max(run_begin, region_cuts[static_cast<std::size_t>(rg)]);
+      const std::int64_t b =
+          std::min(run_end, region_cuts[static_cast<std::size_t>(rg) + 1]);
+      const std::int64_t count = std::max<std::int64_t>(0, b - a);
+      segs.push_back(Segment{
+          count > 0 ? data.data() + (a - run_begin) : nullptr, count,
+          count > 0 ? a : 0, &sinks[static_cast<std::size_t>(rg)],
+          jsort::OverlapWithRegion(
+              layout, me, region_cuts[static_cast<std::size_t>(rg)],
+              region_cuts[static_cast<std::size_t>(rg) + 1])});
+    }
+    jsort::Poll poll = jsort::exchange::StartSegmentExchange(
+        tr, layout, std::move(segs), tag, mode);
+    WaitPoll(poll);
+    for (auto& s : sinks) std::sort(s.begin(), s.end());
+    return sinks;
+  };
+
+  const auto dense = run_once(Mode::kAlltoallv, 15);
+  const auto coalesced = run_once(Mode::kCoalesced, 16);
+  const auto sparse = run_once(Mode::kSparse, 17);
+  const auto aut = run_once(Mode::kAuto, 18);
+  EXPECT_EQ(dense, coalesced);
+  EXPECT_EQ(dense, sparse);
+  EXPECT_EQ(dense, aut);
+  // And all of them deliver exactly my capacity slots, region by region.
+  const std::int64_t my_begin = layout.PrefixBefore(me);
+  const std::int64_t my_end = my_begin + layout.CapOf(me);
+  for (int rg = 0; rg < kRegions; ++rg) {
+    std::vector<double> expect;
+    for (std::int64_t s = std::max(
+             my_begin, region_cuts[static_cast<std::size_t>(rg)]);
+         s < std::min(my_end,
+                      region_cuts[static_cast<std::size_t>(rg) + 1]);
+         ++s) {
+      expect.push_back(static_cast<double>(s));
+    }
+    EXPECT_EQ(dense[static_cast<std::size_t>(rg)], expect) << "region " << rg;
+  }
+}
+
+TEST_P(ExchangeSweep, RandomizedModeEquivalenceUniform) {
+  const Backend b = GetParam();
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    RunRanks(8, [&](mpisim::Comm& world) {
+      RandomizedEquivalence(Make(b, world), seed, /*skewed=*/false);
+    });
+  }
+}
+
+TEST_P(ExchangeSweep, RandomizedModeEquivalenceSkewed) {
+  const Backend b = GetParam();
+  for (std::uint64_t seed : {21ull, 22ull, 23ull}) {
+    RunRanks(8, [&](mpisim::Comm& world) {
+      RandomizedEquivalence(Make(b, world), seed, /*skewed=*/true);
+    });
+  }
+}
+
+/// Group-wise exchange (unknown receive counts): deterministic piece
+/// assignment with empty pieces; sparse and dense paths must agree.
+TEST_P(ExchangeSweep, GroupwiseSparseMatchesDense) {
+  const Backend b = GetParam();
+  RunRanks(6, [&](mpisim::Comm& world) {
+    auto tr = Make(b, world);
+    const int p = tr->Size();
+    const int me = tr->Rank();
+    // Rank r sends r copies of (100*r + d) to d = (r+1)%p and, when r is
+    // even, 2 copies to d = (r+2)%p; odd ranks pass that entry empty.
+    std::vector<double> a(static_cast<std::size_t>(me),
+                          100.0 * me + (me + 1) % p);
+    std::vector<double> c(2, 100.0 * me + (me + 2) % p);
+    std::vector<jsort::exchange::Outgoing> out(2);
+    out[0] = {(me + 1) % p, a.data(), static_cast<std::int64_t>(a.size())};
+    out[1] = {(me + 2) % p, me % 2 == 0 ? c.data() : nullptr,
+              me % 2 == 0 ? 2 : 0};
+    jsort::exchange::ExchangeStats ds, ss;
+    auto dense = jsort::exchange::ExchangeGroupwise(
+        tr, out, 23, Mode::kAlltoallv, &ds);
+    auto sparse = jsort::exchange::ExchangeGroupwise(
+        tr, out, 23, Mode::kSparse, &ss);
+    auto aut = jsort::exchange::ExchangeGroupwise(tr, out, 23, Mode::kAuto);
+    EXPECT_EQ(dense, sparse);
+    EXPECT_EQ(dense, aut);
+    EXPECT_EQ(ds.elements_sent, ss.elements_sent);
+    EXPECT_EQ(ds.messages_sent, p - 1);
+    // Sparse: one message per non-empty non-self destination.
+    std::int64_t expect_msgs = me > 0 ? 1 : 0;
+    if (me % 2 == 0) ++expect_msgs;
+    EXPECT_EQ(ss.messages_sent, expect_msgs);
+  });
+}
+
 TEST_P(ExchangeSweep, SegmentExchangeAllElementsOnOneRank) {
   // Extreme skew: rank 0 holds every element; everyone else holds (and in
   // the end receives) their capacity share -- empty senders must complete.
@@ -334,8 +495,8 @@ INSTANTIATE_TEST_SUITE_P(
     BackendsByMode, JQuickModeSweep,
     ::testing::Combine(::testing::Values(Backend::kRbc, Backend::kMpi,
                                          Backend::kIcomm),
-                       ::testing::Values(Mode::kAlltoallv,
-                                         Mode::kCoalesced)));
+                       ::testing::Values(Mode::kAlltoallv, Mode::kCoalesced,
+                                         Mode::kSparse)));
 
 TEST_P(JQuickModeSweep, SortsCorrectly) {
   const auto [b, mode] = GetParam();

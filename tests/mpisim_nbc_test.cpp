@@ -3,6 +3,7 @@
 // tag counter.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "testutil.hpp"
@@ -187,6 +188,89 @@ TEST(Nbc, ManyOutstandingBarriersDrainInOrder) {
     std::vector<Request> reqs;
     for (int i = 0; i < 8; ++i) reqs.push_back(mpisim::Ibarrier(world));
     mpisim::Waitall(reqs);
+  });
+}
+
+TEST_P(NbcSweep, IsparseAlltoallvRoutesOnlyListedBlocks) {
+  const int p = GetParam();
+  RunRanks(p, [p](Comm& world) {
+    const int me = world.Rank();
+    // Rank i sends i+1 doubles (value 100*i + dest) to its right
+    // neighbour only; every rank receives exactly one message (from its
+    // left neighbour), discovered without any counts round.
+    const int dest = (me + 1) % p;
+    std::vector<double> payload(static_cast<std::size_t>(me) + 1,
+                                100.0 * me + dest);
+    std::vector<mpisim::SparseSendBlock> sends{mpisim::SparseSendBlock{
+        dest, payload.data(), static_cast<int>(payload.size())}};
+    std::vector<mpisim::SparseRecvMessage> got;
+    Request r = mpisim::IsparseAlltoallv(sends, Datatype::kFloat64, &got,
+                                         world);
+    mpisim::Wait(r);
+    const int src = (me + p - 1) % p;
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].source, src);
+    std::vector<double> expect(static_cast<std::size_t>(src) + 1,
+                               100.0 * src + me);
+    std::vector<double> vals(got[0].bytes.size() / sizeof(double));
+    std::memcpy(vals.data(), got[0].bytes.data(),
+                vals.size() * sizeof(double));
+    EXPECT_EQ(vals, expect);
+  });
+}
+
+TEST(Nbc, IsparseAlltoallvBackToBackAndConcurrentWithOtherNbc) {
+  // The tag-counter draws of the sparse exchange (payload + two barrier
+  // pairs) must stay synchronous across ranks even with another
+  // nonblocking collective in flight, and round r+1 must never leak into
+  // round r (second-barrier fence).
+  constexpr int kP = 5;
+  RunRanks(kP, [](Comm& world) {
+    const int me = world.Rank();
+    std::int64_t v = me == 0 ? 7 : -1;
+    Request bcast = mpisim::Ibcast(&v, 1, Datatype::kInt64, 0, world);
+    for (int round = 0; round < 3; ++round) {
+      const int dest = (me + 1 + round) % kP;
+      const double payload = me * 10.0 + round;
+      std::vector<mpisim::SparseSendBlock> sends{
+          mpisim::SparseSendBlock{dest, &payload, 1}};
+      std::vector<mpisim::SparseRecvMessage> got;
+      Request r = mpisim::IsparseAlltoallv(sends, Datatype::kFloat64, &got,
+                                           world);
+      mpisim::Wait(r);
+      ASSERT_EQ(got.size(), 1u) << "round " << round;
+      const int src = (me + kP - 1 - round) % kP;
+      EXPECT_EQ(got[0].source, src);
+      double val = 0.0;
+      std::memcpy(&val, got[0].bytes.data(), sizeof val);
+      EXPECT_EQ(val, src * 10.0 + round);
+    }
+    mpisim::Wait(bcast);
+    EXPECT_EQ(v, 7);
+  });
+}
+
+TEST(Nbc, IsparseAlltoallvRejectsBadBlocks) {
+  RunRanks(1, [](Comm& world) {
+    const double x = 1.0;
+    std::vector<mpisim::SparseRecvMessage> got;
+    {
+      std::vector<mpisim::SparseSendBlock> sends{
+          mpisim::SparseSendBlock{5, &x, 1}};
+      EXPECT_THROW(
+          mpisim::IsparseAlltoallv(sends, Datatype::kFloat64, &got, world),
+          mpisim::UsageError);
+    }
+    {
+      std::vector<mpisim::SparseSendBlock> sends{
+          mpisim::SparseSendBlock{0, &x, -1}};
+      EXPECT_THROW(
+          mpisim::IsparseAlltoallv(sends, Datatype::kFloat64, &got, world),
+          mpisim::UsageError);
+    }
+    EXPECT_THROW(mpisim::IsparseAlltoallv({}, Datatype::kFloat64, nullptr,
+                                          world),
+                 mpisim::UsageError);
   });
 }
 

@@ -1,0 +1,189 @@
+// rbc::SparseAlltoallv / IsparseAlltoallv: sparse destination sets, empty
+// senders, all-to-one skew, self blocks, source ordering, back-to-back
+// operations on one tag (the second-barrier fence), sub-ranges, and the
+// message budget (no dense counts round).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "testutil.hpp"
+
+namespace {
+
+using rbc::Datatype;
+using rbc::SparseRecvMessage;
+using rbc::SparseSendBlock;
+using testutil::RunRbc;
+
+/// Payload rank i sends to rank j in round `r`.
+std::vector<double> PayloadOf(int i, int j, int r) {
+  return {i * 100.0 + j + r * 1.0e4, i * 100.0 + j + r * 1.0e4 + 0.5};
+}
+
+std::vector<double> AsDoubles(const std::vector<std::byte>& bytes) {
+  std::vector<double> v(bytes.size() / sizeof(double));
+  std::memcpy(v.data(), bytes.data(), v.size() * sizeof(double));
+  return v;
+}
+
+TEST(RbcSparse, NeighbourRotationDeliversAndOrdersBySource) {
+  constexpr int kP = 8;
+  RunRbc(kP, [](rbc::Comm& comm) {
+    const int me = comm.Rank();
+    // Rank i sends to i+1 and i+2 (mod p): every rank receives from two
+    // known sources, but the collective must discover them by probing.
+    std::vector<std::vector<double>> payloads;
+    std::vector<SparseSendBlock> sends;
+    for (int d : {(me + 1) % kP, (me + 2) % kP}) {
+      payloads.push_back(PayloadOf(me, d, 0));
+      sends.push_back(SparseSendBlock{
+          d, payloads.back().data(),
+          static_cast<int>(payloads.back().size())});
+    }
+    std::vector<SparseRecvMessage> got;
+    rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, comm, 5);
+    ASSERT_EQ(got.size(), 2u);
+    const int s0 = (me + kP - 2) % kP, s1 = (me + kP - 1) % kP;
+    const int lo = std::min(s0, s1), hi = std::max(s0, s1);
+    EXPECT_EQ(got[0].source, lo);
+    EXPECT_EQ(got[1].source, hi);
+    EXPECT_EQ(AsDoubles(got[0].bytes), PayloadOf(lo, me, 0));
+    EXPECT_EQ(AsDoubles(got[1].bytes), PayloadOf(hi, me, 0));
+  });
+}
+
+TEST(RbcSparse, AllToOneWithEmptySendersTerminates) {
+  constexpr int kP = 9;
+  RunRbc(kP, [](rbc::Comm& comm) {
+    const int me = comm.Rank();
+    // Odd ranks send to rank 0; even ranks (and 0 itself) send nothing.
+    std::vector<double> payload = PayloadOf(me, 0, 0);
+    std::vector<SparseSendBlock> sends;
+    if (me % 2 == 1) {
+      sends.push_back(SparseSendBlock{
+          0, payload.data(), static_cast<int>(payload.size())});
+    }
+    std::vector<SparseRecvMessage> got;
+    rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, comm, 5);
+    if (me == 0) {
+      ASSERT_EQ(got.size(), 4u);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        const int src = 2 * static_cast<int>(i) + 1;
+        EXPECT_EQ(got[i].source, src);
+        EXPECT_EQ(AsDoubles(got[i].bytes), PayloadOf(src, 0, 0));
+      }
+    } else {
+      EXPECT_TRUE(got.empty());
+    }
+  });
+}
+
+TEST(RbcSparse, SelfBlockDeliversLocally) {
+  RunRbc(3, [](rbc::Comm& comm) {
+    const int me = comm.Rank();
+    std::vector<double> payload = PayloadOf(me, me, 0);
+    std::vector<SparseSendBlock> sends{SparseSendBlock{
+        me, payload.data(), static_cast<int>(payload.size())}};
+    std::vector<SparseRecvMessage> got;
+    rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, comm, 5);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].source, me);
+    EXPECT_EQ(AsDoubles(got[0].bytes), payload);
+  });
+}
+
+TEST(RbcSparse, BackToBackOnOneTagDoesNotLeak) {
+  // The second barrier fences round r from round r+1: a fast rank's
+  // round-1 sends must never be drained into a slow rank's round-0
+  // result, even on the identical tag.
+  constexpr int kP = 6;
+  RunRbc(kP, [](rbc::Comm& comm) {
+    const int me = comm.Rank();
+    for (int round = 0; round < 3; ++round) {
+      const int dest = (me + 1 + round) % kP;
+      const int src = (me + kP - 1 - round) % kP;
+      std::vector<double> payload = PayloadOf(me, dest, round);
+      std::vector<SparseSendBlock> sends{SparseSendBlock{
+          dest, payload.data(), static_cast<int>(payload.size())}};
+      std::vector<SparseRecvMessage> got;
+      rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, comm, 5);
+      ASSERT_EQ(got.size(), 1u) << "round " << round;
+      EXPECT_EQ(got[0].source, src);
+      EXPECT_EQ(AsDoubles(got[0].bytes), PayloadOf(src, me, round));
+    }
+  });
+}
+
+TEST(RbcSparse, SubRangeIgnoresNonMembers) {
+  constexpr int kP = 7;
+  RunRbc(kP, [](rbc::Comm& world) {
+    // Ranks 2..5 run a sparse exchange among themselves.
+    rbc::Comm sub;
+    rbc::Split_RBC_Comm(world, 2, 5, &sub);
+    if (sub.Rank() < 0) return;
+    const int me = sub.Rank();
+    const int p = sub.Size();
+    const int dest = (me + 1) % p;
+    std::vector<double> payload = PayloadOf(me, dest, 0);
+    std::vector<SparseSendBlock> sends{SparseSendBlock{
+        dest, payload.data(), static_cast<int>(payload.size())}};
+    std::vector<SparseRecvMessage> got;
+    rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, sub, 5);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].source, (me + p - 1) % p);
+  });
+}
+
+TEST(RbcSparse, NonblockingFormCompletesViaWait) {
+  constexpr int kP = 5;
+  RunRbc(kP, [](rbc::Comm& comm) {
+    const int me = comm.Rank();
+    const int dest = (me + 2) % kP;
+    std::vector<double> payload = PayloadOf(me, dest, 0);
+    std::vector<SparseSendBlock> sends{SparseSendBlock{
+        dest, payload.data(), static_cast<int>(payload.size())}};
+    std::vector<SparseRecvMessage> got;
+    rbc::Request req;
+    rbc::IsparseAlltoallv(sends, Datatype::kFloat64, &got, comm, &req, 5);
+    rbc::Wait(&req);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].source, (me + kP - 2) % kP);
+    EXPECT_EQ(AsDoubles(got[0].bytes), PayloadOf(got[0].source, me, 0));
+  });
+}
+
+TEST(RbcSparse, SingleRankSelfOnly) {
+  RunRbc(1, [](rbc::Comm& comm) {
+    std::vector<double> payload{1.0, 2.0};
+    std::vector<SparseSendBlock> sends{SparseSendBlock{0, payload.data(), 2}};
+    std::vector<SparseRecvMessage> got;
+    rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, comm, 5);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(AsDoubles(got[0].bytes), payload);
+  });
+}
+
+TEST(RbcSparse, MessageBudgetHasNoDenseCountsRound) {
+  // Sparse pattern on p ranks: each rank sends one payload message. The
+  // per-rank send budget must be 1 payload + O(log p) barrier tokens --
+  // far below the p-1 messages a dense counts round alone would cost.
+  constexpr int kP = 16;
+  RunRbc(kP, [](rbc::Comm& comm) {
+    const int me = comm.Rank();
+    const int dest = (me + 1) % kP;
+    std::vector<double> payload = PayloadOf(me, dest, 0);
+    std::vector<SparseSendBlock> sends{SparseSendBlock{
+        dest, payload.data(), static_cast<int>(payload.size())}};
+    std::vector<SparseRecvMessage> got;
+    const std::uint64_t before = mpisim::Ctx().stats.messages_sent;
+    rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, comm, 5);
+    const std::uint64_t sent = mpisim::Ctx().stats.messages_sent - before;
+    // 1 payload + two binomial-tree barriers (a rank sends at most
+    // ~log2 p tokens per traversal, and only the root hits that bound).
+    EXPECT_LT(sent, static_cast<std::uint64_t>(kP - 1));
+  });
+}
+
+}  // namespace
