@@ -1,16 +1,21 @@
 // All-to-all exchange benchmark: rbc::Alltoallv vs mpisim::Alltoallv on
-// uniform personalized exchanges, and the jsort::exchange segment paths
+// uniform personalized exchanges, the jsort::exchange segment paths
 // (dense Alltoallv vs coalesced vs sparse) on a skewed neighbour-rotation
-// redistribution. The skewed rows also report the *measured* per-rank
-// message count (payload plus every metadata message: the dense counts
-// round, the sparse barriers), taken from the substrate's traffic
-// counters -- the startup-cost story of the paths in one number.
+// redistribution, and the large-message regime (segment_bytes sweeps) on
+// the same skewed workload. The skewed rows also report the *measured*
+// per-rank message count (payload plus every metadata message: the dense
+// counts round, the sparse barriers) from the substrate's traffic
+// counters; the large-message rows add the exchange layer's wire-segment
+// count and the measured maximum single-message size, which the
+// segmented paths must keep at or below segment_bytes.
 //
 // Output is machine-readable JSON (one top-level array of measurement
 // objects) so the results can accumulate into the BENCH_*.json perf
 // trajectory:
 //   ./bench_alltoall > BENCH_alltoall.json
+// `--smoke` shrinks the sweeps for CI.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -25,10 +30,15 @@ constexpr int kReps = 5;
 benchutil::JsonRows rows;
 
 void EmitRow(const char* bench, const char* backend, int p, long long count,
-             const benchutil::Measurement& m, long long messages = -1) {
+             const benchutil::Measurement& m, long long messages = -1,
+             const std::string& more = {}) {
   std::string extra;
   if (messages >= 0) {
     extra = "\"messages\": " + std::to_string(messages);
+  }
+  if (!more.empty()) {
+    if (!extra.empty()) extra += ", ";
+    extra += more;
   }
   rows.Row(bench, backend, p, count, m, extra);
 }
@@ -122,11 +132,91 @@ void SkewSweep(int p) {
   });
 }
 
+/// Large-message regime on the skewed rotation: one destination receives
+/// the whole per-rank payload (`cap` elements), swept over segment sizes
+/// for the two chunk-capable paths (sparse, dense) plus the unsegmented
+/// baselines. Each row carries the exchange layer's wire-segment count
+/// and the measured maximum single-message size across all ranks -- the
+/// acceptance check is max_msg_bytes <= segment_bytes on the segmented
+/// rows.
+void LargeMessageSweep(int p, int cap) {
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
+  rt.Run([p, cap](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    auto tr = jsort::MakeRbcTransport(rw);
+    const int me = tr->Rank();
+    const jsort::CapacityLayout layout{
+        .p = p, .quota = cap, .cap_first = cap, .cap_last = cap};
+    const int owner = (me + 1) % p;
+    const std::int64_t begin = layout.PrefixBefore(owner);
+    std::vector<double> data(static_cast<std::size_t>(cap), 1.0);
+    auto run_once = [&](jsort::exchange::Mode mode, std::int64_t seg,
+                        jsort::exchange::ExchangeStats* stats) {
+      std::vector<double> sink;
+      std::vector<jsort::exchange::Segment> segs(1);
+      segs[0] = jsort::exchange::Segment{data.data(), cap, begin, &sink,
+                                         cap};
+      jsort::Poll poll = jsort::exchange::StartSegmentExchange(
+          tr, layout, std::move(segs), 19, mode, stats, seg);
+      while (!poll()) {
+      }
+    };
+    for (auto mode : {jsort::exchange::Mode::kAlltoallv,
+                      jsort::exchange::Mode::kSparse}) {
+      for (std::int64_t seg :
+           {std::int64_t{0}, std::int64_t{4096}, std::int64_t{65536}}) {
+        const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+          run_once(mode, seg, nullptr);
+        });
+        // Untimed accounting pass: per-rank message count, wire segments,
+        // and the fleet-wide maximum single-message size.
+        mpisim::Barrier(world);
+        mpisim::Ctx().stats.max_message_bytes = 0;
+        const double before =
+            static_cast<double>(mpisim::Ctx().stats.messages_sent);
+        jsort::exchange::ExchangeStats stats;
+        run_once(mode, seg, &stats);
+        // Read both counters before the reductions below inject their own
+        // wire messages into them.
+        const double local_msgs =
+            static_cast<double>(mpisim::Ctx().stats.messages_sent) - before;
+        const double local_bytes =
+            static_cast<double>(mpisim::Ctx().stats.max_message_bytes);
+        double max_msgs = 0.0;
+        mpisim::Allreduce(&local_msgs, &max_msgs, 1,
+                          mpisim::Datatype::kFloat64, mpisim::ReduceOp::kMax,
+                          world);
+        double max_bytes = 0.0;
+        mpisim::Allreduce(&local_bytes, &max_bytes, 1,
+                          mpisim::Datatype::kFloat64, mpisim::ReduceOp::kMax,
+                          world);
+        if (world.Rank() == 0) {
+          EmitRow("segment_exchange_large", benchutil::ModeName(mode), p,
+                  cap, m, static_cast<long long>(max_msgs),
+                  "\"segment_bytes\": " + std::to_string(seg) +
+                      ", \"segments\": " + std::to_string(stats.segments) +
+                      ", \"max_msg_bytes\": " +
+                      std::to_string(static_cast<long long>(max_bytes)));
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
 
-int main() {
-  for (int p : {4, 8, 16, 32}) UniformSweep(p);
-  for (int p : {8, 16, 32}) SkewSweep(p);
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    for (int p : {4, 8}) UniformSweep(p);
+    for (int p : {8}) SkewSweep(p);
+    LargeMessageSweep(8, 1 << 12);
+  } else {
+    for (int p : {4, 8, 16, 32}) UniformSweep(p);
+    for (int p : {8, 16, 32}) SkewSweep(p);
+    for (int p : {8, 16}) LargeMessageSweep(p, 1 << 13);
+  }
   rows.Close();
   return 0;
 }

@@ -4,7 +4,18 @@
 // vendor MPIs for every operation (its point: range-based communicators
 // add no hidden collective overhead); gather is swept to a smaller bound
 // because the root's receive buffer is p * n/p.
+//
+// Output is the shared machine-readable BENCH_*.json schema (one
+// top-level array of measurement objects; bench = fig9_<op>, backend =
+// mpi|rbc, count = n/p):
+//   ./bench_fig9_collectives > BENCH_fig9.json
+// `--smoke` shrinks ranks/reps/sweep for CI. The shape check is that for
+// every operation the mpi and rbc rows stay near each other across the
+// sweep -- the paper's conclusion that RBC collectives cost the same as
+// native ones.
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <vector>
 
 #include "benchutil.hpp"
@@ -12,57 +23,50 @@
 
 namespace {
 
-constexpr int kRanks = 64;
-constexpr int kReps = 5;
+int g_ranks = 64;
+int g_reps = 5;
 
-struct Pair {
-  benchutil::Measurement mpi, rbc;
-};
+benchutil::JsonRows rows;
 
 using OpRunner = std::function<void(mpisim::Comm&, rbc::Comm&, bool use_rbc,
                                     int n, std::vector<double>& a,
                                     std::vector<double>& b)>;
 
-void Sweep(const char* name, int max_log, mpisim::Comm& world,
+void Sweep(const char* bench, int max_log, mpisim::Comm& world,
            rbc::Comm& rw, const OpRunner& run) {
-  if (world.Rank() == 0) {
-    std::printf("\n## Figure 9: %s on p=%d ranks\n", name, kRanks);
-    benchutil::PrintRowHeader(
-        {"n/p", "MPI.vtime", "RBC.vtime", "MPI/RBC"});
-  }
   for (int lg = 0; lg <= max_log; lg += 2) {
     const int n = 1 << lg;
     std::vector<double> a(static_cast<std::size_t>(n), 1.0);
     std::vector<double> b(static_cast<std::size_t>(n) *
-                              static_cast<std::size_t>(kRanks),
+                              static_cast<std::size_t>(g_ranks),
                           0.0);
     const auto mpi = benchutil::MeasureOnRanks(
-        world, kReps, [&] { run(world, rw, false, n, a, b); });
+        world, g_reps, [&] { run(world, rw, false, n, a, b); });
     const auto rbcm = benchutil::MeasureOnRanks(
-        world, kReps, [&] { run(world, rw, true, n, a, b); });
+        world, g_reps, [&] { run(world, rw, true, n, a, b); });
     if (world.Rank() == 0) {
-      benchutil::PrintCell(static_cast<double>(n));
-      benchutil::PrintCell(mpi.vtime);
-      benchutil::PrintCell(rbcm.vtime);
-      benchutil::PrintCell(mpi.vtime / std::max(rbcm.vtime, 1e-9));
-      benchutil::EndRow();
+      rows.Row(bench, "mpi", g_ranks, n, mpi);
+      rows.Row(bench, "rbc", g_ranks, n, rbcm);
     }
   }
 }
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "# Figure 9: nonblocking collectives, RBC vs native MPI (vtime = "
-      "model time, median of %d)\n",
-      kReps);
-  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
-  rt.Run([](mpisim::Comm& world) {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    g_ranks = 16;
+    g_reps = 1;
+  }
+  const int max_log = smoke ? 6 : 14;
+  const int gather_log = smoke ? 4 : 10;
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = g_ranks});
+  rt.Run([&](mpisim::Comm& world) {
     rbc::Comm rw;
     rbc::Create_RBC_Comm(world, &rw);
 
-    Sweep("broadcast (9a/9b)", 14, world, rw,
+    Sweep("fig9_bcast", max_log, world, rw,
           [](mpisim::Comm& w, rbc::Comm& r, bool use_rbc, int n,
              std::vector<double>& a, std::vector<double>&) {
             if (use_rbc) {
@@ -76,7 +80,7 @@ int main() {
             }
           });
 
-    Sweep("reduce (9c/9d)", 14, world, rw,
+    Sweep("fig9_reduce", max_log, world, rw,
           [](mpisim::Comm& w, rbc::Comm& r, bool use_rbc, int n,
              std::vector<double>& a, std::vector<double>& b) {
             if (use_rbc) {
@@ -93,7 +97,7 @@ int main() {
             }
           });
 
-    Sweep("scan (9e/9f)", 14, world, rw,
+    Sweep("fig9_scan", max_log, world, rw,
           [](mpisim::Comm& w, rbc::Comm& r, bool use_rbc, int n,
              std::vector<double>& a, std::vector<double>& b) {
             if (use_rbc) {
@@ -109,7 +113,7 @@ int main() {
             }
           });
 
-    Sweep("gather (9g/9h)", 10, world, rw,
+    Sweep("fig9_gather", gather_log, world, rw,
           [](mpisim::Comm& w, rbc::Comm& r, bool use_rbc, int n,
              std::vector<double>& a, std::vector<double>& b) {
             if (use_rbc) {
@@ -124,9 +128,6 @@ int main() {
             }
           });
   });
-  std::printf(
-      "\n# Shape check: every MPI/RBC column stays near 1 across the sweep "
-      "-- RBC collectives\n# on range communicators cost the same as "
-      "native collectives (the paper's conclusion).\n");
+  rows.Close();
   return 0;
 }

@@ -66,12 +66,20 @@ struct Stats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_received = 0;
+  /// Largest single message injected by this rank, in payload bytes --
+  /// segmentation tests bound this against the configured segment size.
+  /// A running high-water mark: zero it before an operation to measure
+  /// that operation alone.
+  std::uint64_t max_message_bytes = 0;
 
   Stats& operator+=(const Stats& o) {
     messages_sent += o.messages_sent;
     bytes_sent += o.bytes_sent;
     messages_received += o.messages_received;
     bytes_received += o.bytes_received;
+    if (o.max_message_bytes > max_message_bytes) {
+      max_message_bytes = o.max_message_bytes;
+    }
     return *this;
   }
 };

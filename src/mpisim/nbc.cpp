@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "mpisim/error.hpp"
@@ -426,12 +427,17 @@ class IbarrierSM final : public RequestImpl {
 /// Spread-out personalized all-to-all: all sends are injected eagerly at
 /// start (mirroring the blocking Alltoallv), all receives posted up front;
 /// Test drains the receives. Zero-count blocks are still transmitted.
+/// With a segment limit each per-peer block ships as pipelined segments of
+/// at most segment_bytes; segments of one block share the tag and are
+/// sequenced by per-envelope FIFO order (receives from one source are
+/// posted in segment order, so the k-th pending receive matches the k-th
+/// sent segment).
 class IalltoallvSM final : public RequestImpl {
  public:
   IalltoallvSM(const void* send, std::span<const int> sendcounts,
                std::span<const int> sdispls, Datatype dt, void* recv,
                std::span<const int> recvcounts, std::span<const int> rdispls,
-               Comm comm, int tag)
+               Comm comm, int tag, std::int64_t segment_bytes)
       : comm_(std::move(comm)) {
     const int p = comm_.Size();
     const int rank = comm_.Rank();
@@ -458,24 +464,70 @@ class IalltoallvSM final : public RequestImpl {
     for (int off = 1; off < p; ++off) {
       const int dest = (rank + off) % p;
       const auto di = static_cast<std::size_t>(dest);
-      SendOnChannel(in + static_cast<std::size_t>(sdispls[di]) * esize,
-                    sendcounts[di], dt, dest, tag, comm_, kCh);
+      const std::int64_t segs =
+          AlltoallvSegmentsOf(sendcounts[di], esize, segment_bytes);
+      for (std::int64_t s = 0; s < segs; ++s) {
+        const auto [at, len] =
+            AlltoallvSegmentRange(sendcounts[di], esize, segment_bytes, s);
+        SendOnChannel(
+            in + static_cast<std::size_t>(sdispls[di] + at) * esize,
+            static_cast<int>(len), dt, dest, tag, comm_, kCh);
+      }
     }
-    recvs_.reserve(static_cast<std::size_t>(p > 0 ? p - 1 : 0));
+    // Receives from one source must be pending one at a time: two open
+    // receives sharing (source, tag) would race for the FIFO head. Each
+    // peer's segment queue therefore posts its next receive only when the
+    // previous one completed.
+    dt_ = dt;
+    tag_ = tag;
     for (int off = 1; off < p; ++off) {
       const int src = (rank - off + p) % p;
       const auto si = static_cast<std::size_t>(src);
-      recvs_.push_back(
-          IrecvOnChannel(out + static_cast<std::size_t>(rdispls[si]) * esize,
-                         recvcounts[si], dt, src, tag, comm_, kCh));
+      const std::int64_t segs =
+          AlltoallvSegmentsOf(recvcounts[si], esize, segment_bytes);
+      PeerRecv pr;
+      pr.src = src;
+      for (std::int64_t s = 0; s < segs; ++s) {
+        const auto [at, len] =
+            AlltoallvSegmentRange(recvcounts[si], esize, segment_bytes, s);
+        pr.segs.emplace_back(
+            out + static_cast<std::size_t>(rdispls[si] + at) * esize,
+            static_cast<int>(len));
+      }
+      peers_.push_back(std::move(pr));
     }
+    for (PeerRecv& pr : peers_) PostNext(pr);
   }
 
-  bool Test(Status*) override { return Testall(std::span<Request>(recvs_)); }
+  bool Test(Status*) override {
+    bool all = true;
+    for (PeerRecv& pr : peers_) {
+      while (pr.active.Test()) {
+        if (pr.next == pr.segs.size()) break;
+        PostNext(pr);
+      }
+      all &= pr.next == pr.segs.size() && pr.active.Test();
+    }
+    return all;
+  }
 
  private:
+  struct PeerRecv {
+    int src = 0;
+    std::vector<std::pair<std::byte*, int>> segs;  // buffer, element count
+    std::size_t next = 0;  // first segment without a posted receive
+    Request active;
+  };
+
+  void PostNext(PeerRecv& pr) {
+    const auto [buf, len] = pr.segs[pr.next++];
+    pr.active = IrecvOnChannel(buf, len, dt_, pr.src, tag_, comm_, kCh);
+  }
+
   Comm comm_;
-  std::vector<Request> recvs_;
+  Datatype dt_ = Datatype::kByte;
+  int tag_ = 0;
+  std::vector<PeerRecv> peers_;
 };
 
 int NextTagPair(const Comm& comm) {
@@ -486,14 +538,102 @@ int NextTagPair(const Comm& comm) {
   return t * 2;  // even base; +1 used by the chained second stage
 }
 
-/// Sparse personalized exchange (see nbc.hpp). All three tags (payload +
-/// two barrier pairs) are drawn in the constructor, so the NBC tag counter
-/// stays synchronous across ranks even when other nonblocking collectives
-/// start on the communicator while this one is in flight.
+}  // namespace
+
+/// Sends one sparse payload, chunked under `segment_bytes`, over the
+/// shared chunk wire format (see nbc.hpp): the first message on
+/// `payload_tag` is [int64 total bytes][payload...]; trailing chunks go to
+/// `chunk_tag` as [int64 seq][payload...], seq = 1, 2, .... Shared between
+/// the substrate and the RBC sparse collective via the `send` callback
+/// (which injects one message of raw bytes to the destination).
+void SendChunkedSparse(
+    const std::byte* payload, std::int64_t payload_bytes,
+    std::int64_t segment_bytes,
+    const std::function<void(const std::vector<std::byte>&, bool first)>&
+        send) {
+  const std::int64_t cap =
+      segment_bytes > 0 ? SparseChunkCapacity(segment_bytes)
+                        : std::max<std::int64_t>(payload_bytes, 0);
+  const std::int64_t first_len = std::min<std::int64_t>(cap, payload_bytes);
+  // Trailing chunks are injected *before* the header chunk: the substrate
+  // deposits eagerly in program order, so once a receiver probes the
+  // header chunk, every trailing chunk of this payload already sits in
+  // its mailbox -- the receive side can reassemble inside a nonblocking
+  // Test without ever waiting.
+  std::int64_t at = first_len, seq = 0;
+  while (at < payload_bytes) {
+    ++seq;
+    const std::int64_t len = std::min<std::int64_t>(cap, payload_bytes - at);
+    std::vector<std::byte> msg(
+        static_cast<std::size_t>(kSparseChunkHeaderBytes + len));
+    std::memcpy(msg.data(), &seq, sizeof seq);
+    std::memcpy(msg.data() + kSparseChunkHeaderBytes, payload + at,
+                static_cast<std::size_t>(len));
+    send(msg, /*first=*/false);
+    at += len;
+  }
+  std::vector<std::byte> msg(
+      static_cast<std::size_t>(kSparseChunkHeaderBytes + first_len));
+  std::memcpy(msg.data(), &payload_bytes, sizeof payload_bytes);
+  if (first_len != 0) {
+    std::memcpy(msg.data() + kSparseChunkHeaderBytes, payload,
+                static_cast<std::size_t>(first_len));
+  }
+  send(msg, /*first=*/true);
+}
+
+/// Reassembles one chunked sparse payload whose first chunk is `first`:
+/// parses the total, then pulls trailing chunks via `recv_chunk(seq)`
+/// (which must return the next chunk message from the same source).
+std::vector<std::byte> ReassembleChunkedSparse(
+    const std::vector<std::byte>& first,
+    const std::function<std::vector<std::byte>(std::int64_t seq)>&
+        recv_chunk) {
+  if (static_cast<std::int64_t>(first.size()) < kSparseChunkHeaderBytes) {
+    throw Error("sparse exchange: malformed first chunk");
+  }
+  std::int64_t total = 0;
+  std::memcpy(&total, first.data(), sizeof total);
+  if (total < 0 ||
+      static_cast<std::int64_t>(first.size()) - kSparseChunkHeaderBytes >
+          total) {
+    throw Error("sparse exchange: first chunk disagrees with its header");
+  }
+  std::vector<std::byte> payload(first.begin() + kSparseChunkHeaderBytes,
+                                 first.end());
+  std::int64_t seq = 0;
+  while (static_cast<std::int64_t>(payload.size()) < total) {
+    const std::vector<std::byte> chunk = recv_chunk(++seq);
+    if (static_cast<std::int64_t>(chunk.size()) < kSparseChunkHeaderBytes) {
+      throw Error("sparse exchange: malformed trailing chunk");
+    }
+    std::int64_t got_seq = 0;
+    std::memcpy(&got_seq, chunk.data(), sizeof got_seq);
+    if (got_seq != seq ||
+        static_cast<std::int64_t>(payload.size() + chunk.size()) -
+                kSparseChunkHeaderBytes >
+            total) {
+      throw Error("sparse exchange: trailing chunk out of sequence");
+    }
+    payload.insert(payload.end(), chunk.begin() + kSparseChunkHeaderBytes,
+                   chunk.end());
+  }
+  return payload;
+}
+
+namespace {
+
+/// Sparse personalized exchange (see nbc.hpp). All four tags (payload,
+/// chunk continuation, two barrier pairs) are drawn in the constructor, so
+/// the NBC tag counter stays synchronous across ranks even when other
+/// nonblocking collectives start on the communicator while this one is in
+/// flight. The chunk tag is the odd sibling of the (even) payload tag --
+/// nothing else ever allocates it.
 class SparseAlltoallvSM final : public RequestImpl {
  public:
   SparseAlltoallvSM(std::span<const SparseSendBlock> sends, Datatype dt,
-                    std::vector<SparseRecvMessage>* received, Comm comm)
+                    std::vector<SparseRecvMessage>* received, Comm comm,
+                    std::int64_t segment_bytes)
       : received_(received), comm_(std::move(comm)),
         tag_(2 * comm_.NextNbcTag()), barrier_a_tag_(NextTagPair(comm_)),
         barrier_b_tag_(NextTagPair(comm_)) {
@@ -516,7 +656,14 @@ class SparseAlltoallvSM final : public RequestImpl {
             b.dest,
             std::vector<std::byte>(bytes, bytes + Bytes(b.count, dt))});
       } else {
-        SendOnChannel(b.data, b.count, dt, b.dest, tag_, comm_, kCh);
+        SendChunkedSparse(
+            static_cast<const std::byte*>(b.data),
+            static_cast<std::int64_t>(Bytes(b.count, dt)), segment_bytes,
+            [&](const std::vector<std::byte>& msg, bool first) {
+              SendOnChannel(msg.data(), static_cast<int>(msg.size()),
+                            Datatype::kByte, b.dest,
+                            first ? tag_ : tag_ + 1, comm_, kCh);
+            });
       }
     }
     barrier_ = std::make_shared<IbarrierSM>(comm_, barrier_a_tag_);
@@ -547,11 +694,22 @@ class SparseAlltoallvSM final : public RequestImpl {
   void Drain() {
     Status st;
     while (IprobeOnChannel(kAnySource, tag_, comm_, kCh, &st)) {
+      std::vector<std::byte> first(st.bytes);
+      RecvOnChannel(first.data(), static_cast<int>(st.bytes),
+                    Datatype::kByte, st.source, tag_, comm_, kCh);
       SparseRecvMessage msg;
       msg.source = st.source;
-      msg.bytes.resize(st.bytes);
-      RecvOnChannel(msg.bytes.data(), static_cast<int>(st.bytes),
-                    Datatype::kByte, st.source, tag_, comm_, kCh);
+      // Trailing chunks were deposited *before* their header chunk, so
+      // these receives complete without waiting and Test stays
+      // nonblocking.
+      msg.bytes = ReassembleChunkedSparse(first, [&](std::int64_t) {
+        Status cst;
+        ProbeOnChannel(st.source, tag_ + 1, comm_, kCh, &cst);
+        std::vector<std::byte> chunk(cst.bytes);
+        RecvOnChannel(chunk.data(), static_cast<int>(cst.bytes),
+                      Datatype::kByte, st.source, tag_ + 1, comm_, kCh);
+        return chunk;
+      });
       received_->push_back(std::move(msg));
     }
   }
@@ -626,10 +784,10 @@ Request Ibarrier(const Comm& comm) {
 
 Request IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
                          std::vector<SparseRecvMessage>* received,
-                         const Comm& comm) {
+                         const Comm& comm, std::int64_t segment_bytes) {
   if (comm.IsNull()) throw UsageError("IsparseAlltoallv: null communicator");
   return Request(std::make_shared<detail::SparseAlltoallvSM>(
-      sends, dt, received, comm));
+      sends, dt, received, comm, segment_bytes));
 }
 
 Request Ialltoall(const void* send, int count, Datatype dt, void* recv,
@@ -642,17 +800,18 @@ Request Ialltoall(const void* send, int count, Datatype dt, void* recv,
   for (int i = 0; i < p; ++i) displs[static_cast<std::size_t>(i)] = i * count;
   return Request(std::make_shared<detail::IalltoallvSM>(
       send, counts, displs, dt, recv, counts, displs, comm,
-      2 * comm.NextNbcTag()));
+      2 * comm.NextNbcTag(), /*segment_bytes=*/0));
 }
 
 Request Ialltoallv(const void* send, std::span<const int> sendcounts,
                    std::span<const int> sdispls, Datatype dt, void* recv,
                    std::span<const int> recvcounts,
-                   std::span<const int> rdispls, const Comm& comm) {
+                   std::span<const int> rdispls, const Comm& comm,
+                   std::int64_t segment_bytes) {
   if (comm.IsNull()) throw UsageError("Ialltoallv: null communicator");
   return Request(std::make_shared<detail::IalltoallvSM>(
       send, sendcounts, sdispls, dt, recv, recvcounts, rdispls, comm,
-      2 * comm.NextNbcTag()));
+      2 * comm.NextNbcTag(), segment_bytes));
 }
 
 }  // namespace mpisim

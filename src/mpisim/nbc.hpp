@@ -13,8 +13,12 @@
 // runs on the communicator's dedicated kNbc sub-channel.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "mpisim/comm.hpp"
@@ -55,14 +59,76 @@ Request Ibarrier(const Comm& comm);
 Request Ialltoall(const void* send, int count, Datatype dt, void* recv,
                   const Comm& comm);
 
+// ---------------------------------------------------------------------------
+// Large-message segmentation. A real transport switches from eager to
+// rendezvous delivery past a threshold; the segmented exchange paths keep
+// every single message at or below `segment_bytes` payload bytes by
+// splitting each per-peer block into pipelined segments. The arithmetic is
+// shared between the substrate, the RBC collectives and the exchange layer
+// so that callers can predict wire message counts exactly.
+// ---------------------------------------------------------------------------
+
+/// Wire messages of one Alltoallv block of `count` elements under a
+/// segment limit of `segment_bytes` (0 or negative = unlimited). A
+/// zero-count block still costs one (empty) message -- MPI semantics --
+/// and every segment carries at least one element, so the bound on a
+/// single message is max(segment_bytes, esize).
+inline std::int64_t AlltoallvSegmentsOf(std::int64_t count, std::size_t esize,
+                                        std::int64_t segment_bytes) {
+  if (segment_bytes <= 0 || count <= 0) return 1;
+  const std::int64_t per = std::max<std::int64_t>(
+      1, segment_bytes / static_cast<std::int64_t>(esize));
+  return (count + per - 1) / per;
+}
+
+/// Offset and length (elements) of segment `s` of a block of `count`
+/// elements -- the inverse of AlltoallvSegmentsOf, shared by every
+/// segmenting sender/receiver so their walks can never diverge.
+inline std::pair<std::int64_t, std::int64_t> AlltoallvSegmentRange(
+    std::int64_t count, std::size_t esize, std::int64_t segment_bytes,
+    std::int64_t s) {
+  if (segment_bytes <= 0) return {0, count};
+  const std::int64_t per = std::max<std::int64_t>(
+      1, segment_bytes / static_cast<std::int64_t>(esize));
+  const std::int64_t off = s * per;
+  return {off,
+          std::min<std::int64_t>(per, std::max<std::int64_t>(count - off, 0))};
+}
+
+/// Header prefix of every sparse payload message: the first chunk of a
+/// destination's payload carries the total payload byte count, trailing
+/// chunks carry their 1-based sequence number.
+inline constexpr std::int64_t kSparseChunkHeaderBytes = 8;
+
+/// Payload bytes one sparse chunk may carry under a segment limit. The
+/// capacity never drops below one machine word, so a single message is
+/// bounded by max(segment_bytes, kSparseChunkHeaderBytes + 8).
+inline std::int64_t SparseChunkCapacity(std::int64_t segment_bytes) {
+  return std::max<std::int64_t>(segment_bytes - kSparseChunkHeaderBytes, 8);
+}
+
+/// Wire messages (chunks) of one sparse payload of `payload_bytes` under a
+/// segment limit of `segment_bytes` (0 or negative = unlimited: one
+/// message, still header-prefixed).
+inline std::int64_t SparseChunksOf(std::int64_t payload_bytes,
+                                   std::int64_t segment_bytes) {
+  if (segment_bytes <= 0) return 1;
+  const std::int64_t cap = SparseChunkCapacity(segment_bytes);
+  return std::max<std::int64_t>(1, (payload_bytes + cap - 1) / cap);
+}
+
 /// Nonblocking personalized all-to-all with per-peer counts/displacements
 /// (elements; all arrays sized Size() and significant on every rank). The
 /// count arrays are copied at call time; only the data buffers must stay
-/// alive until completion.
+/// alive until completion. With segment_bytes > 0 every per-peer block is
+/// split into pipelined segments of at most segment_bytes payload bytes
+/// (at least one element each); per-envelope FIFO order sequences the
+/// segments of a block, so the wire format needs no headers.
 Request Ialltoallv(const void* send, std::span<const int> sendcounts,
                    std::span<const int> sdispls, Datatype dt, void* recv,
                    std::span<const int> recvcounts,
-                   std::span<const int> rdispls, const Comm& comm);
+                   std::span<const int> rdispls, const Comm& comm,
+                   std::int64_t segment_bytes = 0);
 
 /// One outgoing block of a sparse personalized exchange: `count` elements
 /// of the operation's datatype to rank `dest`.
@@ -93,9 +159,19 @@ struct SparseRecvMessage {
 /// communicator's NBC counter. `*received` is appended with every
 /// incoming message, ordered by source rank; a block with dest == Rank()
 /// is delivered locally. Send blocks are copied out at call time.
+///
+/// Payloads ship chunked: the first chunk (on the payload tag) is
+/// [int64 total payload bytes][payload...]; with segment_bytes > 0 a
+/// payload larger than the first chunk's capacity continues as trailing
+/// chunks [int64 seq][payload...] on the operation's chunk tag, sequenced
+/// 1, 2, ... per destination (see SparseChunksOf for the arithmetic). A
+/// receiver that probes a first chunk pulls that sender's trailing chunks
+/// immediately -- eager deposit guarantees they already sit in the
+/// mailbox -- so chunked and one-shot payloads are indistinguishable to
+/// the caller.
 Request IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
                          std::vector<SparseRecvMessage>* received,
-                         const Comm& comm);
+                         const Comm& comm, std::int64_t segment_bytes = 0);
 
 namespace detail {
 
@@ -107,6 +183,24 @@ struct BinomialTree {
 
   static BinomialTree Compute(int rank, int p, int root);
 };
+
+/// Chunk wire format of the sparse exchanges, shared by the substrate and
+/// the RBC sparse collective. SendChunkedSparse splits one payload into
+/// chunk messages ([int64 total][payload...] header, [int64 seq]
+/// [payload...] trailing) and hands each to `send` (first = payload tag,
+/// else chunk tag), injecting the trailing chunks *before* the header so
+/// a probed header guarantees the whole payload is already deposited;
+/// ReassembleChunkedSparse inverts it on the receive side, pulling
+/// trailing chunks through `recv_chunk` and verifying the sequence.
+void SendChunkedSparse(
+    const std::byte* payload, std::int64_t payload_bytes,
+    std::int64_t segment_bytes,
+    const std::function<void(const std::vector<std::byte>&, bool first)>&
+        send);
+std::vector<std::byte> ReassembleChunkedSparse(
+    const std::vector<std::byte>& first,
+    const std::function<std::vector<std::byte>(std::int64_t seq)>&
+        recv_chunk);
 
 }  // namespace detail
 

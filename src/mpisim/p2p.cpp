@@ -95,6 +95,9 @@ void SendOnChannel(const void* buf, int count, Datatype dt, int dest, int tag,
   m.timestamp = rc.clock.Now();
   rc.stats.messages_sent += 1;
   rc.stats.bytes_sent += bytes;
+  if (bytes > rc.stats.max_message_bytes) {
+    rc.stats.max_message_bytes = bytes;
+  }
   rc.runtime->MailboxOf(comm.WorldRank(dest)).Post(std::move(m));
 }
 

@@ -9,12 +9,25 @@
 //    (r - rank) mod p -- an involution for every p, with at most two fixed
 //    points per round (a fixed point is the caller's own block, handled by
 //    a local copy before round 0).
-// Each ordered rank pair exchanges exactly one message per operation, so a
-// single reserved tag suffices; per-envelope FIFO order disambiguates
-// back-to-back operations on the same tag. Sends are eager, so a round
-// posts its send, then parks on the matching receive -- faster ranks run
-// ahead of slower partners without deadlock.
+// Sends are eager, so a round posts its send, then parks on the matching
+// receive -- faster ranks run ahead of slower partners without deadlock.
+//
+// Large-message regime: with segment_bytes > 0 each per-partner block is
+// split into segments of at most segment_bytes payload bytes, and the
+// schedule pipelines them *segment-major* the way BcastLarge's
+// scatter+ring-allgather pipelines its blocks: the outer loop walks
+// segment indices, the inner loop walks the pairing rounds, so segment s
+// reaches every partner before segment s+1 starts and no single partner's
+// large block serializes the round. Both sides of a pair walk the same
+// (segment, round) grid -- the pairing is an involution -- so the
+// messages of an ordered rank pair flow in segment order on one tag, and
+// per-envelope FIFO order sequences them; back-to-back operations on the
+// same tag stay disambiguated the same way. Without segmentation each
+// ordered pair exchanges exactly one message (zero-count blocks
+// included), message for message the substrate's schedule.
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "rbc/collectives.hpp"
 #include "rbc/sm.hpp"
@@ -28,7 +41,7 @@ class AlltoallvSM final : public RequestImpl {
   AlltoallvSM(const void* send, std::span<const int> sendcounts,
               std::span<const int> sdispls, Datatype dt, void* recv,
               std::span<const int> recvcounts, std::span<const int> rdispls,
-              Comm comm, int tag)
+              Comm comm, int tag, std::int64_t segment_bytes)
       : send_(static_cast<const std::byte*>(send)),
         recv_(static_cast<std::byte*>(recv)),
         sendcounts_(sendcounts.begin(), sendcounts.end()),
@@ -53,8 +66,16 @@ class AlltoallvSM final : public RequestImpl {
       }
     }
     pow2_ = (p & (p - 1)) == 0;
-    // Own block: local copy, no message.
     const std::size_t esize = mpisim::SizeOf(dt_);
+    segment_bytes_ = segment_bytes;
+    max_segs_ = 1;
+    for (int i = 0; i < p; ++i) {
+      if (i == rank) continue;
+      const auto ii = static_cast<std::size_t>(i);
+      max_segs_ = std::max({max_segs_, SegsOf(sendcounts_[ii]),
+                            SegsOf(recvcounts_[ii])});
+    }
+    // Own block: local copy, no message.
     const std::size_t self =
         static_cast<std::size_t>(sendcounts_[static_cast<std::size_t>(rank)]) *
         esize;
@@ -66,14 +87,13 @@ class AlltoallvSM final : public RequestImpl {
                       sdispls_[static_cast<std::size_t>(rank)]) * esize,
           self);
     }
-    AdvanceRounds();
+    Advance();
   }
 
   bool Test(Status*) override {
     if (done_) return true;
     if (!pending_.Poll()) return false;
-    ++round_;
-    AdvanceRounds();
+    Advance();
     return done_;
   }
 
@@ -84,22 +104,51 @@ class AlltoallvSM final : public RequestImpl {
     return pow2_ ? (rank ^ r) : ((r - rank) % p + p) % p;
   }
 
-  void AdvanceRounds() {
+  /// Wire messages of one block under the segment limit (zero-count
+  /// blocks still cost one empty message) -- the substrate's shared
+  /// arithmetic, so exchange-layer accounting matches this schedule.
+  std::int64_t SegsOf(int count) const {
+    return mpisim::AlltoallvSegmentsOf(count, mpisim::SizeOf(dt_),
+                                       segment_bytes_);
+  }
+
+  /// Element offset and length of segment s within a block of `count`.
+  std::pair<std::int64_t, std::int64_t> SegRange(int count,
+                                                 std::int64_t s) const {
+    return mpisim::AlltoallvSegmentRange(count, mpisim::SizeOf(dt_),
+                                         segment_bytes_, s);
+  }
+
+  /// Walks the (segment, round) grid to the next receive and parks there;
+  /// sends along the way are eager. Segment-major: all rounds of segment
+  /// s complete before segment s+1 starts.
+  void Advance() {
     const int p = comm_.Size();
     const std::size_t esize = mpisim::SizeOf(dt_);
-    while (round_ < p) {
-      const int partner = Partner(round_);
-      if (partner == comm_.Rank()) {  // fixed point: own block, done above
+    while (seg_ < max_segs_) {
+      while (round_ < p) {
+        const int partner = Partner(round_);
         ++round_;
-        continue;
+        if (partner == comm_.Rank()) continue;  // fixed point: own block
+        const auto pi = static_cast<std::size_t>(partner);
+        const std::int64_t ss = SegsOf(sendcounts_[pi]);
+        const std::int64_t rs = SegsOf(recvcounts_[pi]);
+        if (seg_ < ss) {
+          const auto [at, len] = SegRange(sendcounts_[pi], seg_);
+          SendInternal(
+              send_ + static_cast<std::size_t>(sdispls_[pi] + at) * esize,
+              static_cast<int>(len), dt_, partner, tag_, comm_);
+        }
+        if (seg_ < rs) {
+          const auto [at, len] = SegRange(recvcounts_[pi], seg_);
+          pending_ = IrecvInternal(
+              recv_ + static_cast<std::size_t>(rdispls_[pi] + at) * esize,
+              static_cast<int>(len), dt_, partner, tag_, comm_);
+          return;  // park on this slot's receive
+        }
       }
-      const auto pi = static_cast<std::size_t>(partner);
-      SendInternal(send_ + static_cast<std::size_t>(sdispls_[pi]) * esize,
-                   sendcounts_[pi], dt_, partner, tag_, comm_);
-      pending_ = IrecvInternal(
-          recv_ + static_cast<std::size_t>(rdispls_[pi]) * esize,
-          recvcounts_[pi], dt_, partner, tag_, comm_);
-      return;  // park on this round's receive
+      round_ = 0;
+      ++seg_;
     }
     done_ = true;
   }
@@ -111,6 +160,9 @@ class AlltoallvSM final : public RequestImpl {
   Comm comm_;
   int tag_;
   bool pow2_ = false;
+  std::int64_t segment_bytes_ = 0;  // 0 = unsegmented
+  std::int64_t max_segs_ = 1;  // outer-loop bound over this rank's pairs
+  std::int64_t seg_ = 0;
   int round_ = 0;
   Request pending_;
   bool done_ = false;
@@ -127,7 +179,8 @@ std::shared_ptr<RequestImpl> MakeUniformSM(const void* send, int count,
     displs[static_cast<std::size_t>(i)] = i * count;
   }
   return std::make_shared<AlltoallvSM>(send, counts, displs, dt, recv, counts,
-                                       displs, comm, tag);
+                                       displs, comm, tag,
+                                       /*segment_bytes=*/0);
 }
 
 }  // namespace
@@ -156,12 +209,13 @@ int Ialltoall(const void* sendbuf, int count, Datatype dt, void* recvbuf,
 int Alltoallv(const void* sendbuf, std::span<const int> sendcounts,
               std::span<const int> sdispls, Datatype dt, void* recvbuf,
               std::span<const int> recvcounts, std::span<const int> rdispls,
-              const Comm& comm) {
+              const Comm& comm, std::int64_t segment_bytes) {
   detail::ValidateCollective(comm, 0, "Alltoallv");
   detail::RunToCompletion(
       std::make_shared<detail::AlltoallvSM>(sendbuf, sendcounts, sdispls, dt,
                                             recvbuf, recvcounts, rdispls,
-                                            comm, kTagAlltoallv),
+                                            comm, kTagAlltoallv,
+                                            segment_bytes),
       "Alltoallv");
   return 0;
 }
@@ -169,14 +223,15 @@ int Alltoallv(const void* sendbuf, std::span<const int> sendcounts,
 int Ialltoallv(const void* sendbuf, std::span<const int> sendcounts,
                std::span<const int> sdispls, Datatype dt, void* recvbuf,
                std::span<const int> recvcounts, std::span<const int> rdispls,
-               const Comm& comm, Request* request, int tag) {
+               const Comm& comm, Request* request, int tag,
+               std::int64_t segment_bytes) {
   detail::ValidateCollective(comm, 0, "Ialltoallv");
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Ialltoallv: null request");
   }
   *request = Request(std::make_shared<detail::AlltoallvSM>(
       sendbuf, sendcounts, sdispls, dt, recvbuf, recvcounts, rdispls, comm,
-      tag));
+      tag, segment_bytes));
   return 0;
 }
 

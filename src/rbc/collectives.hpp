@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -76,8 +77,22 @@ int Ibarrier(const Comm& comm, Request* request, int tag = RBC_IBARRIER_TAG);
 // consecutive tags (the inclusive scan and the right-shift), so the tag
 // after theirs stays unassigned. Alltoall/Alltoallv use a single tag: the
 // pairwise schedules exchange at most one message per ordered rank pair
-// per operation, so (source, tag) is unambiguous; back-to-back operations
-// on the same tag are disambiguated by per-envelope FIFO order.
+// per operation -- or, in the segmented large-message regime, the
+// segments of a pair in strictly increasing order -- so (source, tag)
+// plus per-envelope FIFO order is unambiguous; back-to-back operations on
+// the same tag are disambiguated the same way.
+//
+// Derived-tag regions of the sparse exchange (indexed by the exchange's
+// payload tag `t`, which RbcTransport passes through raw):
+//   * barrier tags:        kReservedTagBase + 2^22 + {2t, 2t+1}
+//     (termination barriers A and B of the two-barrier NBX scheme);
+//   * chunk-sequence tags: kReservedTagBase + 2^23 + t
+//     (trailing payload chunks [int64 seq][payload...] of the chunked
+//     large-message protocol; the first chunk of every payload travels on
+//     `t` itself as [int64 total bytes][payload...]).
+// Simultaneous sparse exchanges on overlapping communicators therefore
+// need distinct payload tags, which also keeps their barrier and chunk
+// envelopes apart.
 inline constexpr int RBC_IALLREDUCE_TAG = kReservedTagBase + 22;
 inline constexpr int RBC_IALLGATHER_TAG = kReservedTagBase + 23;
 inline constexpr int RBC_IEXSCAN_TAG = kReservedTagBase + 24;  // +25 too
@@ -146,16 +161,20 @@ int Ialltoall(const void* sendbuf, int count, Datatype dt, void* recvbuf,
 /// Personalized all-to-all with per-peer counts/displacements (elements).
 /// All four arrays are significant on every rank and sized Size();
 /// sendcounts[j] on rank i must equal recvcounts[i] on rank j. Same
-/// schedules as Alltoall.
+/// schedules as Alltoall. With segment_bytes > 0 every per-partner block
+/// is pipelined as segments of at most segment_bytes payload bytes (at
+/// least one element each), interleaved segment-major across the pairing
+/// rounds -- the large-message regime; 0 keeps the one-message-per-pair
+/// eager schedule.
 int Alltoallv(const void* sendbuf, std::span<const int> sendcounts,
               std::span<const int> sdispls, Datatype dt, void* recvbuf,
               std::span<const int> recvcounts, std::span<const int> rdispls,
-              const Comm& comm);
+              const Comm& comm, std::int64_t segment_bytes = 0);
 int Ialltoallv(const void* sendbuf, std::span<const int> sendcounts,
                std::span<const int> sdispls, Datatype dt, void* recvbuf,
                std::span<const int> recvcounts, std::span<const int> rdispls,
                const Comm& comm, Request* request,
-               int tag = RBC_IALLTOALLV_TAG);
+               int tag = RBC_IALLTOALLV_TAG, std::int64_t segment_bytes = 0);
 
 /// Sparse-exchange vocabulary, shared with the substrate's collective
 /// (mpisim::IsparseAlltoallv): one outgoing block per destination actually
@@ -177,15 +196,26 @@ using SparseRecvMessage = mpisim::SparseRecvMessage;
 /// `*received` is appended with every incoming message, ordered by source
 /// rank (messages from one source stay in send order). A block with
 /// dest == Rank() bypasses the transport and is delivered locally. The
-/// payload tag also derives the barrier tags, so simultaneous sparse
-/// exchanges on overlapping communicators need distinct tags, like every
-/// other RBC collective.
+/// payload tag also derives the barrier and chunk-sequence tags (see the
+/// reserved-tag map above), so simultaneous sparse exchanges on
+/// overlapping communicators need distinct tags, like every other RBC
+/// collective.
+///
+/// With segment_bytes > 0 each per-destination payload ships as chunks of
+/// at most segment_bytes wire bytes (first chunk [int64 total][payload]
+/// on the payload tag, trailing chunks [int64 seq][payload] on the
+/// derived chunk tag) instead of one unbounded eager message -- the
+/// large-message regime; the caller still receives one delivery per
+/// source. The two-barrier fence orders trailing chunks of back-to-back
+/// exchanges on one tag exactly as it orders their first chunks.
 int SparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
                     std::vector<SparseRecvMessage>* received,
-                    const Comm& comm, int tag = RBC_SPARSE_ALLTOALLV_TAG);
+                    const Comm& comm, int tag = RBC_SPARSE_ALLTOALLV_TAG,
+                    std::int64_t segment_bytes = 0);
 int IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
                      std::vector<SparseRecvMessage>* received,
                      const Comm& comm, Request* request,
-                     int tag = RBC_SPARSE_ALLTOALLV_TAG);
+                     int tag = RBC_SPARSE_ALLTOALLV_TAG,
+                     std::int64_t segment_bytes = 0);
 
 }  // namespace rbc

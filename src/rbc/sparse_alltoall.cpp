@@ -3,20 +3,34 @@
 // Lumsdaine: "Scalable communication protocols for dynamic sparse data
 // exchange") adapted to the substrate's eager sends.
 //
-// Phase A: post one eager send per listed destination (the substrate
-//   deposits the payload into the destination mailbox before the call
-//   returns), then enter barrier A, draining membership-filtered probes
-//   while it completes.
+// Phase A: post the chunked payload of every listed destination (the
+//   substrate deposits each chunk into the destination mailbox before the
+//   call returns), then enter barrier A, draining membership-filtered
+//   probes while it completes.
 // Phase B: barrier A complete means every member has posted all its sends,
 //   so every message owed to the caller already sits in the mailbox: drain
 //   until the probe reports nothing, then enter barrier B.
 // Phase C: barrier B fences the operation against its successor -- a
 //   member may post sends of a *following* sparse exchange on the same tag
 //   only after every rank finished draining this one, so the final drain
-//   of phase B can never steal them.
+//   of phase B can never steal them. The fence covers trailing payload
+//   chunks too: they are consumed by the drain that received their first
+//   chunk, strictly before this rank enters barrier B.
 //
-// Message budget per rank: one message per non-empty destination plus two
-// barrier traversals (O(log p) tokens), with no dense counts round at all.
+// Payload wire format (shared with mpisim::IsparseAlltoallv): the first
+// chunk, on the exchange's payload tag, is [int64 total payload bytes]
+// [payload...]; with a segment limit, payloads larger than one chunk
+// continue on the exchange's *chunk tag* as [int64 seq][payload...],
+// sequenced 1, 2, ... per destination and injected *before* their header
+// chunk. A receiver that probes a header chunk therefore pulls the
+// sender's trailing chunks without ever waiting -- so a skewed
+// destination never buffers its whole payload in one message, yet the
+// caller still sees exactly one delivery per source and the request's
+// Test stays nonblocking.
+//
+// Message budget per rank: SparseChunksOf(payload) messages per non-empty
+// destination plus two barrier traversals (O(log p) tokens), with no
+// dense counts round at all.
 #include <algorithm>
 
 #include "rbc/collectives.hpp"
@@ -31,11 +45,17 @@ namespace {
 /// sparse exchanges (distinct payload tags) never share barrier envelopes.
 constexpr int kSparseBarrierBase = kReservedTagBase + (1 << 22);
 
+/// Trailing-chunk tags, one per payload tag, in their own reserved region:
+/// simultaneous sparse exchanges on distinct tags keep their chunk
+/// sequences apart, and chunk traffic never collides with barrier tokens
+/// or first chunks.
+constexpr int kSparseChunkBase = kReservedTagBase + (1 << 23);
+
 class SparseAlltoallvSM final : public RequestImpl {
  public:
   SparseAlltoallvSM(std::span<const SparseSendBlock> sends, Datatype dt,
                     std::vector<SparseRecvMessage>* received, Comm comm,
-                    int tag)
+                    int tag, std::int64_t segment_bytes)
       : dt_(dt), received_(received), comm_(std::move(comm)), tag_(tag) {
     if (received_ == nullptr) {
       throw mpisim::UsageError("rbc::SparseAlltoallv: null receive vector");
@@ -57,7 +77,15 @@ class SparseAlltoallvSM final : public RequestImpl {
             b.dest, std::vector<std::byte>(
                         bytes, bytes + ByteCount(b.count, dt_))});
       } else {
-        SendInternal(b.data, b.count, dt_, b.dest, tag_, comm_);
+        mpisim::detail::SendChunkedSparse(
+            static_cast<const std::byte*>(b.data),
+            static_cast<std::int64_t>(ByteCount(b.count, dt_)),
+            segment_bytes,
+            [&](const std::vector<std::byte>& msg, bool first) {
+              SendInternal(msg.data(), static_cast<int>(msg.size()),
+                           Datatype::kByte, b.dest,
+                           first ? tag_ : kSparseChunkBase + tag_, comm_);
+            });
       }
     }
     Ibarrier(comm_, &barrier_, kSparseBarrierBase + 2 * tag_);
@@ -87,11 +115,24 @@ class SparseAlltoallvSM final : public RequestImpl {
   void Drain() {
     Status st;
     while (IprobeInternal(kAnySource, tag_, comm_, &st)) {
+      std::vector<std::byte> first(st.bytes);
+      RecvInternal(first.data(), static_cast<int>(st.bytes),
+                   Datatype::kByte, st.source, tag_, comm_);
       SparseRecvMessage msg;
       msg.source = st.source;
-      msg.bytes.resize(st.bytes);
-      RecvInternal(msg.bytes.data(), static_cast<int>(st.bytes),
-                   Datatype::kByte, st.source, tag_, comm_);
+      // Trailing chunks were deposited *before* their header chunk (see
+      // SendChunkedSparse), so these receives complete without waiting
+      // and Test stays nonblocking.
+      msg.bytes = mpisim::detail::ReassembleChunkedSparse(
+          first, [&](std::int64_t) {
+            Status cst;
+            ProbeInternal(st.source, kSparseChunkBase + tag_, comm_, &cst);
+            std::vector<std::byte> chunk(cst.bytes);
+            RecvInternal(chunk.data(), static_cast<int>(cst.bytes),
+                         Datatype::kByte, st.source,
+                         kSparseChunkBase + tag_, comm_);
+            return chunk;
+          });
       received_->push_back(std::move(msg));
     }
   }
@@ -110,24 +151,25 @@ class SparseAlltoallvSM final : public RequestImpl {
 
 int SparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
                     std::vector<SparseRecvMessage>* received,
-                    const Comm& comm, int tag) {
+                    const Comm& comm, int tag, std::int64_t segment_bytes) {
   detail::ValidateCollective(comm, 0, "SparseAlltoallv");
   detail::RunToCompletion(
       std::make_shared<detail::SparseAlltoallvSM>(sends, dt, received, comm,
-                                                  tag),
+                                                  tag, segment_bytes),
       "SparseAlltoallv");
   return 0;
 }
 
 int IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
                      std::vector<SparseRecvMessage>* received,
-                     const Comm& comm, Request* request, int tag) {
+                     const Comm& comm, Request* request, int tag,
+                     std::int64_t segment_bytes) {
   detail::ValidateCollective(comm, 0, "IsparseAlltoallv");
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::IsparseAlltoallv: null request");
   }
   *request = Request(std::make_shared<detail::SparseAlltoallvSM>(
-      sends, dt, received, comm, tag));
+      sends, dt, received, comm, tag, segment_bytes));
   return 0;
 }
 

@@ -18,21 +18,37 @@ void WaitPoll(const Poll& p) {
 /// Globally consistent kAuto resolution for the segment exchange. The
 /// decision must be identical on every rank of the group (receivers
 /// behave differently per mode), so it may only depend on quantities all
-/// ranks share: the group size and the segment count. An interval
-/// redistribution sends each segment to at most a handful of contiguous
-/// destinations (greedy chunks of a run no longer than the uniform quota
-/// span <= 4 ranks), so with k segments a rank reaches at most ~4k peers
-/// -- the estimated non-empty-destination fraction is min(4k, p-1)/(p-1).
-/// At f >= 1/2 the dense path wins (most peers are hit anyway); below it
-/// the coalesced path: segment exchanges always know their receive
-/// expectations, and the expectation-terminated drain adds zero messages
-/// where the sparse collective would pay two barriers. (ExchangeGroupwise
-/// is the kAuto branch that resolves to kSparse: there receive counts are
-/// unknown and expectation-based termination is impossible.)
-Mode Resolve(Mode mode, int p, std::size_t k) {
+/// ranks share: the group size, the segment count, the layout and the
+/// segment limit. An interval redistribution sends each segment to at
+/// most a handful of contiguous destinations (greedy chunks of a run no
+/// longer than the uniform quota span <= 4 ranks), so with k segments a
+/// rank reaches at most ~4k peers -- the estimated non-empty-destination
+/// fraction is min(4k, p-1)/(p-1). At f >= 1/2 the dense path wins (most
+/// peers are hit anyway); below it a skewed path. Coalesced is preferred
+/// (segment exchanges know their receive expectations, and the
+/// expectation-terminated drain adds zero messages where the sparse
+/// collective pays two barriers) -- unless the large-message regime could
+/// be hit: the largest message any rank can owe one destination is the
+/// k-counts header plus at most the destination's whole capacity, a bound
+/// every rank computes identically from the layout. Past segment_bytes
+/// the chunk-capable sparse collective takes over, because the coalesced
+/// eager sends cannot bound their message size. (ExchangeGroupwise is the
+/// kAuto branch that resolves to kSparse unconditionally: there receive
+/// counts are unknown and expectation-based termination is impossible.)
+Mode Resolve(Mode mode, int p, std::size_t k, const CapacityLayout& layout,
+             std::int64_t segment_bytes) {
   if (mode != Mode::kAuto) return mode;
   const std::int64_t max_targets = 4 * static_cast<std::int64_t>(k);
-  return 2 * max_targets >= p - 1 ? Mode::kAlltoallv : Mode::kCoalesced;
+  if (2 * max_targets >= p - 1) return Mode::kAlltoallv;
+  if (segment_bytes > 0) {
+    std::int64_t max_cap = std::max(layout.cap_first, layout.cap_last);
+    if (p > 2) max_cap = std::max(max_cap, layout.quota);
+    const std::int64_t bound =
+        (static_cast<std::int64_t>(k) + max_cap) *
+        static_cast<std::int64_t>(sizeof(double));
+    if (bound > segment_bytes) return Mode::kSparse;
+  }
+  return Mode::kCoalesced;
 }
 
 /// Shared state of one in-flight segment exchange; the returned Poll holds
@@ -43,6 +59,7 @@ struct SegmentState {
   int me = 0;
   std::size_t k = 0;
   int tag = 0;
+  std::int64_t segment_bytes = 0;
   std::vector<Segment> segments;
   std::vector<std::int64_t> remaining;  // per segment, elements still owed
 
@@ -113,7 +130,7 @@ bool SegmentState::Step() {
     staging.resize(static_cast<std::size_t>(total));
     pending = tr->Ialltoallv(payload.data(), sendcounts, sdispls,
                              Datatype::kFloat64, staging.data(), recvcounts,
-                             rdispls, tag);
+                             rdispls, tag, segment_bytes);
     phase = 1;
     if (!pending()) return false;
   }
@@ -124,7 +141,9 @@ bool SegmentState::Step() {
 
 void SegmentState::StartDenseCountsRound() {
   // k int64 entries per peer, uniform (the self block is a local copy of
-  // zeros). The transport copies these small arrays at call time.
+  // zeros). The transport copies these small arrays at call time. The
+  // segment limit applies here too, so even a k*8-byte counts message
+  // never exceeds the configured bound.
   incoming_matrix.assign(static_cast<std::size_t>(p) * k, 0);
   std::vector<int> ccounts(static_cast<std::size_t>(p),
                            static_cast<int>(k));
@@ -134,7 +153,7 @@ void SegmentState::StartDenseCountsRound() {
   }
   pending = tr->Ialltoallv(counts_matrix.data(), ccounts, cdispls,
                            Datatype::kInt64, incoming_matrix.data(), ccounts,
-                           cdispls, tag);
+                           cdispls, tag, segment_bytes);
 }
 
 void SegmentState::FinishDense() {
@@ -240,7 +259,7 @@ SendPlan PlanFromInterval(const CapacityLayout& layout,
 
 std::vector<double> ExchangeBuckets(
     Transport& tr, const std::vector<std::vector<double>>& buckets, int tag,
-    ExchangeStats* stats) {
+    ExchangeStats* stats, std::int64_t segment_bytes) {
   const int p = tr.Size();
   if (static_cast<int>(buckets.size()) != p) {
     throw mpisim::UsageError(
@@ -259,13 +278,14 @@ std::vector<double> ExchangeBuckets(
               buckets[static_cast<std::size_t>(i)].end(),
               flat.begin() + offsets[static_cast<std::size_t>(i)]);
   }
-  return ExchangeBuckets(tr, flat, offsets, tag, stats);
+  return ExchangeBuckets(tr, flat, offsets, tag, stats, segment_bytes);
 }
 
 std::vector<double> ExchangeBuckets(Transport& tr,
                                     std::span<const double> elements,
                                     std::span<const std::int64_t> offsets,
-                                    int tag, ExchangeStats* stats) {
+                                    int tag, ExchangeStats* stats,
+                                    std::int64_t segment_bytes) {
   const int p = tr.Size();
   const int me = tr.Rank();
   if (static_cast<int>(offsets.size()) != p + 1) {
@@ -316,17 +336,24 @@ std::vector<double> ExchangeBuckets(Transport& tr,
             out.begin() + rdispls[static_cast<std::size_t>(me)]);
   WaitPoll(tr.Ialltoallv(elements.data(), sendcounts, sdispls,
                          Datatype::kFloat64, out.data(), recvcounts, rdispls,
-                         tag));
+                         tag, segment_bytes));
   if (stats != nullptr) {
     stats->messages_sent += p - 1;
     stats->elements_sent += total_out;  // self excluded
+    for (int i = 0; i < p; ++i) {
+      if (i == me) continue;
+      stats->segments += mpisim::AlltoallvSegmentsOf(
+          sendcounts[static_cast<std::size_t>(i)], sizeof(double),
+          segment_bytes);
+    }
   }
   return out;
 }
 
 std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
                                       std::span<const Outgoing> out, int tag,
-                                      Mode mode, ExchangeStats* stats) {
+                                      Mode mode, ExchangeStats* stats,
+                                      std::int64_t segment_bytes) {
   if (tr == nullptr) {
     throw mpisim::UsageError("jsort::exchange::ExchangeGroupwise: null "
                              "transport");
@@ -371,6 +398,20 @@ std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
                                 ? nonempty
                                 : static_cast<std::int64_t>(p - 1);
     stats->elements_sent += elements;
+    for (int d = 0; d < p; ++d) {
+      if (d == me) continue;
+      const std::int64_t to_d = to[static_cast<std::size_t>(d)];
+      if (resolved == Mode::kSparse) {
+        if (to_d != 0) {
+          stats->segments += mpisim::SparseChunksOf(
+              to_d * static_cast<std::int64_t>(sizeof(double)),
+              segment_bytes);
+        }
+      } else {
+        stats->segments += mpisim::AlltoallvSegmentsOf(
+            to_d, sizeof(double), segment_bytes);
+      }
+    }
   }
 
   if (resolved == Mode::kSparse) {
@@ -404,7 +445,7 @@ std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
     }
     std::vector<SparseDelivery> deliveries;
     WaitPoll(tr->IsparseAlltoallv(blocks, Datatype::kFloat64, &deliveries,
-                                  tag));
+                                  tag, segment_bytes));
     std::int64_t total = 0;
     for (const SparseDelivery& d : deliveries) {
       total += static_cast<std::int64_t>(d.bytes.size() / sizeof(double));
@@ -435,13 +476,14 @@ std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
               flat.begin() + cursor[static_cast<std::size_t>(o.dest)]);
     cursor[static_cast<std::size_t>(o.dest)] += o.count;
   }
-  return ExchangeBuckets(*tr, flat, offsets, tag, nullptr);
+  return ExchangeBuckets(*tr, flat, offsets, tag, nullptr, segment_bytes);
 }
 
 Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
                           const CapacityLayout& layout,
                           std::vector<Segment> segments, int tag, Mode mode,
-                          ExchangeStats* stats) {
+                          ExchangeStats* stats,
+                          std::int64_t segment_bytes) {
   if (tr == nullptr) {
     throw mpisim::UsageError("jsort::exchange: null transport");
   }
@@ -451,6 +493,7 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
   st->me = tr->Rank();
   st->k = segments.size();
   st->tag = tag;
+  st->segment_bytes = segment_bytes;
   st->segments = std::move(segments);
   st->remaining.reserve(st->k);
   st->counts_matrix.assign(static_cast<std::size_t>(st->p) * st->k, 0);
@@ -479,7 +522,7 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
     }
   }
 
-  const Mode resolved = Resolve(mode, st->p, st->k);
+  const Mode resolved = Resolve(mode, st->p, st->k, layout, segment_bytes);
   st->coalesced = resolved == Mode::kCoalesced;
   st->sparse = resolved == Mode::kSparse;
 
@@ -506,6 +549,29 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
                                 ? nonempty
                                 : static_cast<std::int64_t>(st->p - 1);
     stats->elements_sent += elements;
+    // Wire-level accounting mirrors each backend's segmentation
+    // arithmetic: the dense path pipelines every per-peer block
+    // (zero-count blocks still cost one empty message), the sparse path
+    // chunks each self-describing message ([k int64s][payload]), the
+    // coalesced path ships unsegmented.
+    const std::size_t header = st->k * sizeof(std::int64_t);
+    for (int d = 0; d < st->p; ++d) {
+      if (d == st->me) continue;
+      const std::int64_t to_d = st->sendcounts[static_cast<std::size_t>(d)];
+      if (st->sparse) {
+        if (to_d != 0) {
+          stats->segments += mpisim::SparseChunksOf(
+              static_cast<std::int64_t>(header) +
+                  to_d * static_cast<std::int64_t>(sizeof(double)),
+              segment_bytes);
+        }
+      } else if (st->coalesced) {
+        if (to_d != 0) stats->segments += 1;
+      } else {
+        stats->segments += mpisim::AlltoallvSegmentsOf(
+            to_d, sizeof(double), segment_bytes);
+      }
+    }
   }
 
   if (st->coalesced || st->sparse) {
@@ -559,7 +625,8 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
       // The collective copies the blocks out eagerly, so `msgs` may die
       // with this scope.
       st->pending = st->tr->IsparseAlltoallv(blocks, Datatype::kByte,
-                                             &st->deliveries, tag);
+                                             &st->deliveries, tag,
+                                             segment_bytes);
     } else {
       for (int d = 0; d < st->p; ++d) {
         const auto& msg = msgs[static_cast<std::size_t>(d)];

@@ -57,8 +57,16 @@ namespace exchange {
 /// messages only; the dense path's metadata (counts) round is excluded so
 /// the numbers stay comparable across paths.
 struct ExchangeStats {
+  /// Logical payload messages: one per (destination, exchange) the path
+  /// transmits, regardless of segmentation.
   std::int64_t messages_sent = 0;
   std::int64_t elements_sent = 0;
+  /// Wire-level payload messages after large-message segmentation: every
+  /// logical message counts its segments/chunks (== messages_sent when no
+  /// segment limit applies). Matches the backend arithmetic
+  /// (mpisim::AlltoallvSegmentsOf / SparseChunksOf) exactly, so tests can
+  /// reconcile this against the substrate's measured message counters.
+  std::int64_t segments = 0;
 };
 
 /// Delivery path selection.
@@ -69,7 +77,11 @@ enum class Mode {
   kSparse,     // skewed: one message per destination over the transport's
                // sparse collective (barrier-terminated, no expectations)
   kAuto,       // dense / coalesced / sparse by the estimated non-empty-
-               // destination fraction (see the header comment)
+               // destination fraction (see the header comment); with a
+               // segment limit, flips coalesced -> sparse exactly when a
+               // single per-destination message could exceed
+               // segment_bytes (the sparse backend chunks its payloads,
+               // the coalesced eager sends cannot)
 };
 
 /// Exclusive prefix sum of per-rank element counts over the transport --
@@ -92,9 +104,11 @@ SendPlan PlanFromInterval(const CapacityLayout& layout,
 /// goes to rank i, every rank returns the concatenation of what it
 /// received, ordered by source rank. Dense path. `stats`, if non-null, is
 /// incremented by this call's payload traffic (p-1 messages).
+/// `segment_bytes` > 0 pipelines each per-peer payload block in segments
+/// of at most that many bytes (the large-message regime).
 std::vector<double> ExchangeBuckets(
     Transport& tr, const std::vector<std::vector<double>>& buckets, int tag,
-    ExchangeStats* stats = nullptr);
+    ExchangeStats* stats = nullptr, std::int64_t segment_bytes = 0);
 
 /// Flat-bucket variant: bucket i occupies elements [offsets[i],
 /// offsets[i+1]) of `elements` (offsets has Size()+1 entries) -- the
@@ -102,7 +116,8 @@ std::vector<double> ExchangeBuckets(
 std::vector<double> ExchangeBuckets(Transport& tr,
                                     std::span<const double> elements,
                                     std::span<const std::int64_t> offsets,
-                                    int tag, ExchangeStats* stats = nullptr);
+                                    int tag, ExchangeStats* stats = nullptr,
+                                    std::int64_t segment_bytes = 0);
 
 /// One outgoing payload of a group-wise (AMS-style) exchange: `count`
 /// elements to group rank `dest`. Entries may be empty; they are not
@@ -129,11 +144,13 @@ struct Outgoing {
 /// group size, so every rank must pass the same number of entries (include
 /// the empty ones). `stats`, if non-null, is incremented by the payload
 /// traffic (barrier/counts metadata excluded, as everywhere in this
-/// layer).
+/// layer). `segment_bytes` > 0 bounds every payload message of the
+/// sparse and dense paths (chunked / pipelined by the transport).
 std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
                                       std::span<const Outgoing> out, int tag,
                                       Mode mode = Mode::kAuto,
-                                      ExchangeStats* stats = nullptr);
+                                      ExchangeStats* stats = nullptr,
+                                      std::int64_t segment_bytes = 0);
 
 /// One logically-contiguous run of elements to redistribute, plus where
 /// its incoming counterpart accumulates.
@@ -155,11 +172,20 @@ struct Segment {
 /// free their buffers immediately; sinks must stay alive (and must not be
 /// resized by the caller) until the returned Poll reports completion.
 /// `stats`, if non-null, is incremented synchronously at start time.
+///
+/// `segment_bytes` > 0 enables the large-message regime: the dense path
+/// pipelines its Alltoallv blocks, the sparse path chunks its payloads,
+/// and kAuto flips coalesced -> sparse exactly when the largest message
+/// any rank could owe one destination (bounded by the destination's
+/// capacity plus the k-counts header, a globally shared quantity) would
+/// exceed segment_bytes. A forced kCoalesced stays unsegmented: its
+/// expectation-terminated eager sends have no chunk protocol.
 Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
                           const CapacityLayout& layout,
                           std::vector<Segment> segments, int tag,
                           Mode mode = Mode::kAuto,
-                          ExchangeStats* stats = nullptr);
+                          ExchangeStats* stats = nullptr,
+                          std::int64_t segment_bytes = 0);
 
 }  // namespace exchange
 }  // namespace jsort

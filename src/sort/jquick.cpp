@@ -303,10 +303,12 @@ class Driver {
     t.poll = exchange::StartSegmentExchange(t.tr, t.layout,
                                             std::move(segments),
                                             t.ExchangeTag(),
-                                            cfg_.exchange_mode, &es);
+                                            cfg_.exchange_mode, &es,
+                                            cfg_.segment_bytes);
     if (stats_ != nullptr) {
       stats_->messages_sent += es.messages_sent;
       stats_->elements_sent += es.elements_sent;
+      stats_->segments_sent += es.segments;
     }
     t.small.clear();
     t.small.shrink_to_fit();
@@ -414,11 +416,23 @@ class Driver {
   void BaseCasePhase() {
     for (auto& t : base_) {
       if (t->layout.p == 2) {
-        t->tr->Send(t->data.data(), static_cast<int>(t->data.size()),
-                    Datatype::kFloat64, 1 - t->MyRank(), kTagBasePair);
+        // The pair exchange honours the segment limit like every other
+        // payload path: both sides know the counts (the capacities), so
+        // sender and receiver walk the same segment ranges, sequenced by
+        // per-envelope FIFO order on the pair tag.
+        const auto n = static_cast<std::int64_t>(t->data.size());
+        const std::int64_t segs = mpisim::AlltoallvSegmentsOf(
+            n, sizeof(double), cfg_.segment_bytes);
+        for (std::int64_t s = 0; s < segs; ++s) {
+          const auto [at, len] = mpisim::AlltoallvSegmentRange(
+              n, sizeof(double), cfg_.segment_bytes, s);
+          t->tr->Send(t->data.data() + at, static_cast<int>(len),
+                      Datatype::kFloat64, 1 - t->MyRank(), kTagBasePair);
+        }
         if (stats_ != nullptr) {
           stats_->messages_sent += 1;
-          stats_->elements_sent += static_cast<std::int64_t>(t->data.size());
+          stats_->elements_sent += n;
+          stats_->segments_sent += segs;
         }
       }
     }
@@ -435,8 +449,14 @@ class Driver {
       std::vector<double> merged = std::move(t->data);
       const std::size_t mine = merged.size();
       merged.resize(mine + static_cast<std::size_t>(partner_cap));
-      t->tr->Recv(merged.data() + mine, static_cast<int>(partner_cap),
-                  Datatype::kFloat64, partner, kTagBasePair);
+      const std::int64_t segs = mpisim::AlltoallvSegmentsOf(
+          partner_cap, sizeof(double), cfg_.segment_bytes);
+      for (std::int64_t s = 0; s < segs; ++s) {
+        const auto [at, len] = mpisim::AlltoallvSegmentRange(
+            partner_cap, sizeof(double), cfg_.segment_bytes, s);
+        t->tr->Recv(merged.data() + mine + at, static_cast<int>(len),
+                    Datatype::kFloat64, partner, kTagBasePair);
+      }
       // Quickselect my share: rank 0 keeps the smallest cap_first
       // elements, rank 1 keeps the rest (Section VII).
       const std::int64_t k = t->layout.cap_first;

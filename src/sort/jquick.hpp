@@ -43,6 +43,10 @@ struct JQuickConfig {
   /// destination on large groups and falls back to the dense Alltoallv on
   /// small ones.
   exchange::Mode exchange_mode = exchange::Mode::kAuto;
+  /// Large-message segment limit of the per-level exchange (bytes; 0 =
+  /// unsegmented). Past it, payload messages are pipelined/chunked and
+  /// kAuto prefers the chunk-capable sparse path over coalesced.
+  std::int64_t segment_bytes = 0;
   std::uint64_t seed = 1;
 };
 
@@ -54,6 +58,9 @@ struct JQuickStats {
   int base_tasks_2p = 0;
   std::int64_t elements_sent = 0;
   std::int64_t messages_sent = 0;
+  /// Wire-level payload messages after segmentation (== messages_sent of
+  /// the per-level exchanges when segment_bytes is 0).
+  std::int64_t segments_sent = 0;
 };
 
 /// Sorts the global data distributed over the transport's group.

@@ -105,9 +105,11 @@ std::vector<double> MultilevelSampleSort(
     }
     exchange::ExchangeStats es;
     local = exchange::ExchangeGroupwise(tr, out, kTagPieceBase + level,
-                                        cfg.exchange_mode, &es);
+                                        cfg.exchange_mode, &es,
+                                        cfg.segment_bytes);
     if (stats != nullptr) {
       stats->messages_sent += es.messages_sent;
+      stats->segments_sent += es.segments;
       stats->level_stats.push_back(es);
     }
 

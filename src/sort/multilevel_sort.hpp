@@ -35,6 +35,10 @@ struct MultilevelConfig {
   /// Delivery path of the per-level group-wise exchange (kAuto: sparse
   /// below the dense threshold -- see exchange.hpp).
   exchange::Mode exchange_mode = exchange::Mode::kAuto;
+  /// Large-message segment limit of the per-level exchange (bytes; 0 =
+  /// unsegmented): past it, payload messages are chunked/pipelined by the
+  /// selected path.
+  std::int64_t segment_bytes = 0;
 };
 
 struct MultilevelStats {
@@ -42,6 +46,9 @@ struct MultilevelStats {
   /// Non-empty payload messages this rank sent across all levels (empty
   /// pieces and self-destined pieces cost no startup).
   std::int64_t messages_sent = 0;
+  /// Wire-level payload messages after segmentation, across all levels
+  /// (== messages_sent when segment_bytes is 0).
+  std::int64_t segments_sent = 0;
   std::int64_t final_elements = 0;
   /// Per-level traffic of this rank's group-wise exchange.
   std::vector<exchange::ExchangeStats> level_stats;

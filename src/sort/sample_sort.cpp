@@ -76,9 +76,13 @@ std::vector<double> SampleSort(const std::shared_ptr<Transport>& world,
   //    Section IV.
   exchange::ExchangeStats es;
   std::vector<double> out = exchange::ExchangeBuckets(
-      tr, buckets.elements, buckets.offsets, kTagBucket, &es);
+      tr, buckets.elements, buckets.offsets, kTagBucket, &es,
+      cfg.segment_bytes);
   buckets.elements.clear();
-  if (stats != nullptr) stats->messages_sent += es.messages_sent;
+  if (stats != nullptr) {
+    stats->messages_sent += es.messages_sent;
+    stats->segments_sent += es.segments;
+  }
 
   // 4) Local sort of the received bucket.
   std::sort(out.begin(), out.end());

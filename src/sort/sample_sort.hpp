@@ -18,12 +18,19 @@ struct SampleSortConfig {
   /// Oversampling factor: each rank contributes `oversample` samples per
   /// splitter, improving balance.
   int oversample = 8;
+  /// Large-message segment limit of the bucket exchange (bytes; 0 =
+  /// unsegmented): past it, each per-peer payload block is pipelined in
+  /// segments of at most this many bytes.
+  std::int64_t segment_bytes = 0;
   std::uint64_t seed = 1;
 };
 
 struct SampleSortStats {
   std::int64_t final_elements = 0;
   std::int64_t messages_sent = 0;
+  /// Wire-level payload messages after segmentation (== messages_sent
+  /// when segment_bytes is 0).
+  std::int64_t segments_sent = 0;
 };
 
 /// Sorts the global data over the transport's group. Output slices are

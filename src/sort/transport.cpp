@@ -76,18 +76,21 @@ class RbcTransport final : public Transport {
   Poll Ialltoallv(const void* send, std::span<const int> sendcounts,
                   std::span<const int> sdispls, Datatype dt, void* recv,
                   std::span<const int> recvcounts,
-                  std::span<const int> rdispls, int tag) override {
+                  std::span<const int> rdispls, int tag,
+                  std::int64_t segment_bytes) override {
     rbc::Request req;
     rbc::Ialltoallv(send, sendcounts, sdispls, dt, recv, recvcounts, rdispls,
-                    comm_, &req, RbcCollTag(tag, kRbcOpAlltoallv));
+                    comm_, &req, RbcCollTag(tag, kRbcOpAlltoallv),
+                    segment_bytes);
     return WrapRbc(std::move(req));
   }
 
   Poll IsparseAlltoallv(std::span<const SparseBlock> sends, Datatype dt,
-                        std::vector<SparseDelivery>* received,
-                        int tag) override {
+                        std::vector<SparseDelivery>* received, int tag,
+                        std::int64_t segment_bytes) override {
     rbc::Request req;
-    rbc::IsparseAlltoallv(sends, dt, received, comm_, &req, tag);
+    rbc::IsparseAlltoallv(sends, dt, received, comm_, &req, tag,
+                          segment_bytes);
     return WrapRbc(std::move(req));
   }
 
@@ -158,15 +161,18 @@ class MpiTransportBase : public Transport {
   Poll Ialltoallv(const void* send, std::span<const int> sendcounts,
                   std::span<const int> sdispls, Datatype dt, void* recv,
                   std::span<const int> recvcounts,
-                  std::span<const int> rdispls, int /*tag*/) override {
+                  std::span<const int> rdispls, int /*tag*/,
+                  std::int64_t segment_bytes) override {
     return WrapMpi(mpisim::Ialltoallv(send, sendcounts, sdispls, dt, recv,
-                                      recvcounts, rdispls, comm_));
+                                      recvcounts, rdispls, comm_,
+                                      segment_bytes));
   }
 
   Poll IsparseAlltoallv(std::span<const SparseBlock> sends, Datatype dt,
-                        std::vector<SparseDelivery>* received,
-                        int /*tag*/) override {
-    return WrapMpi(mpisim::IsparseAlltoallv(sends, dt, received, comm_));
+                        std::vector<SparseDelivery>* received, int /*tag*/,
+                        std::int64_t segment_bytes) override {
+    return WrapMpi(
+        mpisim::IsparseAlltoallv(sends, dt, received, comm_, segment_bytes));
   }
 
   void Send(const void* buf, int count, Datatype dt, int dest,

@@ -14,6 +14,7 @@
 //                     measured configurations).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -62,11 +63,16 @@ class Transport {
   /// all four arrays sized Size() and significant on every rank). The
   /// count arrays are copied at call time; only the data buffers must stay
   /// alive until the Poll reports completion. Zero-count blocks are still
-  /// exchanged, so every backend moves exactly Size()-1 messages.
+  /// exchanged, so with segment_bytes == 0 every backend moves exactly
+  /// Size()-1 messages. With segment_bytes > 0 each per-peer block ships
+  /// as pipelined segments of at most segment_bytes payload bytes (at
+  /// least one element each) -- the large-message regime; the per-peer
+  /// wire message count is mpisim::AlltoallvSegmentsOf on every backend.
   virtual Poll Ialltoallv(const void* send, std::span<const int> sendcounts,
                           std::span<const int> sdispls, Datatype dt,
                           void* recv, std::span<const int> recvcounts,
-                          std::span<const int> rdispls, int tag) = 0;
+                          std::span<const int> rdispls, int tag,
+                          std::int64_t segment_bytes = 0) = 0;
 
   /// Sparse (neighborhood) personalized exchange: only the listed blocks
   /// are transmitted -- no dense counts round, nothing for absent
@@ -78,11 +84,15 @@ class Transport {
   /// must stay alive until completion. As with the other collectives, the
   /// tag disambiguates simultaneous operations on overlapping RBC groups
   /// (back-to-back exchanges on one tag are safe -- the second barrier
-  /// fences them); context-isolated transports may ignore it.
+  /// fences them); context-isolated transports may ignore it. With
+  /// segment_bytes > 0 each per-destination payload ships chunked (at
+  /// most segment_bytes wire bytes per message, chunk count =
+  /// mpisim::SparseChunksOf) instead of as one unbounded eager message;
+  /// receivers still get one delivery per source.
   virtual Poll IsparseAlltoallv(std::span<const SparseBlock> sends,
                                 Datatype dt,
                                 std::vector<SparseDelivery>* received,
-                                int tag) = 0;
+                                int tag, std::int64_t segment_bytes = 0) = 0;
 
   // Point-to-point. Send is eager (completes locally); IprobeAny reports
   // only messages whose source belongs to this group.

@@ -116,6 +116,80 @@ TEST(RbcSparse, BackToBackOnOneTagDoesNotLeak) {
   });
 }
 
+TEST(RbcSparse, BackToBackSegmentedOnOneTagOrdersTrailingChunks) {
+  // Regression: the two-barrier fence must order *trailing payload
+  // chunks* across back-to-back segmented exchanges on one tag, not just
+  // first chunks -- a fast rank's round-r+1 chunk sequence must never be
+  // stitched into a slow rank's round-r payload. Payloads of 24 doubles
+  // under a 64-byte segment limit ship as 4 chunks each (56 payload bytes
+  // per chunk), so every round has trailing traffic to steal.
+  constexpr int kP = 6;
+  constexpr int kCount = 24;
+  constexpr std::int64_t kSeg = 64;
+  RunRbc(kP, [](rbc::Comm& comm) {
+    const int me = comm.Rank();
+    for (int round = 0; round < 3; ++round) {
+      const int dest = (me + 1 + round) % kP;
+      const int src = (me + kP - 1 - round) % kP;
+      std::vector<double> payload(kCount);
+      for (int i = 0; i < kCount; ++i) {
+        payload[static_cast<std::size_t>(i)] =
+            me * 1000.0 + round * 100.0 + i;
+      }
+      std::vector<SparseSendBlock> sends{
+          SparseSendBlock{dest, payload.data(), kCount}};
+      std::vector<SparseRecvMessage> got;
+      rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, comm, 5, kSeg);
+      ASSERT_EQ(got.size(), 1u) << "round " << round;
+      EXPECT_EQ(got[0].source, src);
+      std::vector<double> expect(kCount);
+      for (int i = 0; i < kCount; ++i) {
+        expect[static_cast<std::size_t>(i)] =
+            src * 1000.0 + round * 100.0 + i;
+      }
+      EXPECT_EQ(AsDoubles(got[0].bytes), expect) << "round " << round;
+    }
+  });
+}
+
+TEST(RbcSparse, ChunkedPayloadBoundsMessageSizeAndCount) {
+  // A skewed all-to-one payload under a segment limit: every wire message
+  // stays within the limit and the sender pays exactly SparseChunksOf
+  // payload messages (plus barrier tokens).
+  constexpr int kP = 5;
+  constexpr int kCount = 100;  // 800 payload bytes
+  constexpr std::int64_t kSeg = 128;
+  RunRbc(kP, [](rbc::Comm& comm) {
+    const int me = comm.Rank();
+    std::vector<double> payload(kCount, me * 1.0);
+    std::vector<SparseSendBlock> sends;
+    if (me != 0) {
+      sends.push_back(SparseSendBlock{0, payload.data(), kCount});
+    }
+    std::vector<SparseRecvMessage> got;
+    mpisim::Ctx().stats.max_message_bytes = 0;
+    const std::uint64_t before = mpisim::Ctx().stats.messages_sent;
+    rbc::SparseAlltoallv(sends, Datatype::kFloat64, &got, comm, 5, kSeg);
+    const std::uint64_t sent = mpisim::Ctx().stats.messages_sent - before;
+    EXPECT_LE(mpisim::Ctx().stats.max_message_bytes,
+              static_cast<std::uint64_t>(kSeg));
+    const auto chunks = static_cast<std::uint64_t>(
+        mpisim::SparseChunksOf(kCount * 8, kSeg));
+    if (me != 0) {
+      EXPECT_GE(sent, chunks);  // payload chunks + barrier tokens
+      EXPECT_LT(sent, chunks + static_cast<std::uint64_t>(kP));
+    }
+    if (me == 0) {
+      ASSERT_EQ(got.size(), static_cast<std::size_t>(kP - 1));
+      for (int s = 1; s < kP; ++s) {
+        EXPECT_EQ(got[static_cast<std::size_t>(s) - 1].source, s);
+        EXPECT_EQ(AsDoubles(got[static_cast<std::size_t>(s) - 1].bytes),
+                  std::vector<double>(kCount, s * 1.0));
+      }
+    }
+  });
+}
+
 TEST(RbcSparse, SubRangeIgnoresNonMembers) {
   constexpr int kP = 7;
   RunRbc(kP, [](rbc::Comm& world) {
