@@ -2,76 +2,80 @@
 // greedy algorithm sends at most 2 messages per side per sender, but a
 // receiver can collect Theta(min(p, n/p)) messages in the worst case --
 // the motivation for the deterministic assignment of [20]. This bench
-// reports per-level exchange traffic of JQuick across input shapes.
-#include <cstdio>
+// reports the exchange traffic of a full JQuick run across input shapes
+// (backend = input distribution): `messages` = total data-exchange
+// messages, `max_messages_per_rank`, `elements_sent`, and the bandwidth
+// efficiency `elements_per_message`.
+#include <algorithm>
+#include <string>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "sort/checks.hpp"
 #include "sort/jquick.hpp"
 #include "sort/workload.hpp"
 
 namespace {
 
-constexpr int kRanks = 64;
-
-struct Traffic {
-  std::int64_t total_messages = 0;
-  std::int64_t max_messages_per_rank = 0;
-  std::int64_t total_elements = 0;
-};
-
-Traffic MeasureTraffic(mpisim::Comm& world, jsort::InputKind kind,
-                       int quota) {
-  auto input =
-      jsort::GenerateInput(kind, world.Rank(), world.Size(), quota, 41);
-  rbc::Comm rw;
-  rbc::Create_RBC_Comm(world, &rw);
-  auto tr = jsort::MakeRbcTransport(rw);
-  jsort::JQuickStats stats;
-  jsort::JQuickSort(tr, std::move(input), jsort::JQuickConfig{}, &stats);
-  Traffic t;
-  mpisim::Allreduce(&stats.messages_sent, &t.total_messages, 1,
-                    mpisim::Datatype::kInt64, mpisim::ReduceOp::kSum, world);
-  mpisim::Allreduce(&stats.messages_sent, &t.max_messages_per_rank, 1,
-                    mpisim::Datatype::kInt64, mpisim::ReduceOp::kMax, world);
-  mpisim::Allreduce(&stats.elements_sent, &t.total_elements, 1,
-                    mpisim::Datatype::kInt64, mpisim::ReduceOp::kSum, world);
-  return t;
-}
-
-}  // namespace
-
-int main() {
-  std::printf(
-      "# Ablation: greedy-assignment exchange traffic, p=%d "
-      "(data-exchange messages only)\n",
-      kRanks);
-  benchutil::PrintRowHeader({"input", "n/p", "msgs.total", "msgs.max/rank",
-                             "elems.sent", "elems/msg"});
-  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
-  rt.Run([](mpisim::Comm& world) {
+void RunTraffic(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int reps = ctx.reps(3);
+  const std::vector<int> quotas =
+      ctx.smoke() ? std::vector<int>{16, 256} : std::vector<int>{16, 256, 4096};
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  rt.Run([&](mpisim::Comm& world) {
     for (auto kind : {jsort::InputKind::kUniform, jsort::InputKind::kZipf,
                       jsort::InputKind::kSortedAsc}) {
-      for (int quota : {16, 256, 4096}) {
-        const Traffic t = MeasureTraffic(world, kind, quota);
+      for (int quota : quotas) {
+        jsort::JQuickStats stats;
+        const auto m = benchutil::MeasureOnRanks(world, reps, [&] {
+          auto input = jsort::GenerateInput(kind, world.Rank(), world.Size(),
+                                            quota, 41);
+          rbc::Comm rw;
+          rbc::Create_RBC_Comm(world, &rw);
+          auto tr = jsort::MakeRbcTransport(rw);
+          stats = jsort::JQuickStats{};
+          jsort::JQuickSort(tr, std::move(input), jsort::JQuickConfig{},
+                            &stats);
+        });
+        std::int64_t total_msgs = 0, max_msgs = 0, total_elems = 0;
+        mpisim::Allreduce(&stats.messages_sent, &total_msgs, 1,
+                          mpisim::Datatype::kInt64, mpisim::ReduceOp::kSum,
+                          world);
+        mpisim::Allreduce(&stats.messages_sent, &max_msgs, 1,
+                          mpisim::Datatype::kInt64, mpisim::ReduceOp::kMax,
+                          world);
+        mpisim::Allreduce(&stats.elements_sent, &total_elems, 1,
+                          mpisim::Datatype::kInt64, mpisim::ReduceOp::kSum,
+                          world);
         if (world.Rank() == 0) {
-          benchutil::PrintCell(std::string(jsort::InputKindName(kind)));
-          benchutil::PrintCell(static_cast<double>(quota));
-          benchutil::PrintCell(static_cast<double>(t.total_messages));
-          benchutil::PrintCell(static_cast<double>(t.max_messages_per_rank));
-          benchutil::PrintCell(static_cast<double>(t.total_elements));
-          benchutil::PrintCell(
-              static_cast<double>(t.total_elements) /
-              std::max<double>(1.0, static_cast<double>(t.total_messages)));
-        benchutil::EndRow();
+          const double per_msg =
+              static_cast<double>(total_elems) /
+              std::max<double>(1.0, static_cast<double>(total_msgs));
+          ctx.Row("ablate_assignment",
+                  std::string(jsort::InputKindName(kind)), ranks, quota, m,
+                  {{"messages", total_msgs},
+                   {"max_messages_per_rank", max_msgs},
+                   {"elements_sent", total_elems},
+                   {"elements_per_message", per_msg}});
         }
       }
     }
   });
-  std::printf(
-      "\n# Shape check: per-sender message counts stay small (greedy sends "
-      "<= 2 chunks per\n# side per level); total elements per message grows "
-      "with n/p (bandwidth efficiency).\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_ablate_assignment";
+  spec.figure = "Section VII";
+  spec.description =
+      "greedy-assignment exchange traffic of JQuick across input shapes "
+      "(data-exchange messages only)";
+  spec.default_p = 64;
+  spec.default_reps = 3;
+  spec.sections = {
+      {"traffic", "per-input-shape message and element counts", RunTraffic}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

@@ -1,11 +1,14 @@
 // Ablation: pivot policy (Section VIII-A). Random-element pivots are
 // cheap (one pair-reduce) but split badly; median-of-samples pivots cost a
-// gather but keep the recursion shallow. Also contrasts JQuick's perfect
-// balance with hypercube quicksort's drift on skewed inputs.
-#include <cstdio>
+// gather but keep the recursion shallow (the `levels` row field = maximum
+// distributed recursion depth over ranks). A second section contrasts
+// JQuick's perfect output balance with hypercube quicksort's drift on a
+// zipf input (`min_count`/`max_count` row fields; JQuick must report
+// min_count == max_count).
+#include <string>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "sort/checks.hpp"
 #include "sort/hypercube_qs.hpp"
 #include "sort/jquick.hpp"
@@ -13,23 +16,19 @@
 
 namespace {
 
-constexpr int kRanks = 64;
-constexpr int kReps = 3;
-constexpr int kQuota = 256;
-
 struct Result {
-  double vtime = 0.0;
+  benchutil::Measurement m;
   int levels = 0;
 };
 
 Result MeasureJQuick(mpisim::Comm& world, jsort::PivotPolicy policy,
-                     jsort::InputKind kind) {
+                     jsort::InputKind kind, int quota, int reps) {
   jsort::JQuickConfig cfg;
   cfg.pivot = policy;
   Result res;
-  const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+  res.m = benchutil::MeasureOnRanks(world, reps, [&] {
     auto input = jsort::GenerateInput(kind, world.Rank(), world.Size(),
-                                      kQuota, 23);
+                                      quota, 23);
     rbc::Comm rw;
     rbc::Create_RBC_Comm(world, &rw);
     auto tr = jsort::MakeRbcTransport(rw);
@@ -37,76 +36,78 @@ Result MeasureJQuick(mpisim::Comm& world, jsort::PivotPolicy policy,
     jsort::JQuickSort(tr, std::move(input), cfg, &stats);
     int local_levels = stats.distributed_levels;
     int max_levels = 0;
-    mpisim::Allreduce(&local_levels, &max_levels, 1,
-                      mpisim::Datatype::kInt32, mpisim::ReduceOp::kMax,
-                      world);
+    mpisim::Allreduce(&local_levels, &max_levels, 1, mpisim::Datatype::kInt32,
+                      mpisim::ReduceOp::kMax, world);
     res.levels = max_levels;
   });
-  res.vtime = m.vtime;
   return res;
 }
 
-}  // namespace
-
-int main() {
-  std::printf(
-      "# Ablation: pivot policy, p=%d, n/p=%d (median of %d)\n"
-      "# levels = max distributed recursion depth over ranks\n",
-      kRanks, kQuota, kReps);
-  benchutil::PrintRowHeader({"input", "median.vt", "median.lv", "random.vt",
-                             "random.lv"});
-  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
-  rt.Run([](mpisim::Comm& world) {
+void RunPivot(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int quota = ctx.smoke() ? 64 : 256;
+  const int reps = ctx.reps(3);
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  rt.Run([&](mpisim::Comm& world) {
     for (auto kind :
          {jsort::InputKind::kUniform, jsort::InputKind::kGaussian,
           jsort::InputKind::kZipf, jsort::InputKind::kSortedDesc}) {
       const Result med = MeasureJQuick(
-          world, jsort::PivotPolicy::kMedianOfSamples, kind);
+          world, jsort::PivotPolicy::kMedianOfSamples, kind, quota, reps);
       const Result rnd = MeasureJQuick(
-          world, jsort::PivotPolicy::kRandomElement, kind);
+          world, jsort::PivotPolicy::kRandomElement, kind, quota, reps);
       if (world.Rank() == 0) {
-        benchutil::PrintCell(std::string(jsort::InputKindName(kind)));
-        benchutil::PrintCell(med.vtime);
-        benchutil::PrintCell(static_cast<double>(med.levels));
-        benchutil::PrintCell(rnd.vtime);
-        benchutil::PrintCell(static_cast<double>(rnd.levels));
-        benchutil::EndRow();
-      }
-    }
-
-    // Balance contrast on a skewed input (Section IV's motivation).
-    rbc::Comm rw;
-    rbc::Create_RBC_Comm(world, &rw);
-    {
-      auto input = jsort::GenerateInput(jsort::InputKind::kZipf,
-                                        world.Rank(), world.Size(), kQuota,
-                                        29);
-      auto tr = jsort::MakeRbcTransport(rw);
-      const auto out = jsort::JQuickSort(tr, std::move(input));
-      const auto bal = jsort::GlobalBalance(out, rw);
-      if (world.Rank() == 0) {
-        std::printf(
-            "\n# JQuick balance on zipf input: min=%lld max=%lld "
-            "(perfectly balanced)\n",
-            static_cast<long long>(bal.min_count),
-            static_cast<long long>(bal.max_count));
-      }
-    }
-    {
-      auto input = jsort::GenerateInput(jsort::InputKind::kZipf,
-                                        world.Rank(), world.Size(), kQuota,
-                                        29);
-      auto tr = jsort::MakeRbcTransport(rw);
-      const auto out = jsort::HypercubeQuicksort(tr, std::move(input));
-      const auto bal = jsort::GlobalBalance(out, rw);
-      if (world.Rank() == 0) {
-        std::printf(
-            "# Hypercube balance on zipf input: min=%lld max=%lld "
-            "(imbalance JQuick avoids)\n",
-            static_cast<long long>(bal.min_count),
-            static_cast<long long>(bal.max_count));
+        const std::string input(jsort::InputKindName(kind));
+        ctx.Row("ablate_pivot", "median_of_samples", ranks, quota, med.m,
+                {{"input", input}, {"levels", med.levels}});
+        ctx.Row("ablate_pivot", "random_element", ranks, quota, rnd.m,
+                {{"input", input}, {"levels", rnd.levels}});
       }
     }
   });
-  return 0;
+}
+
+void RunBalance(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int quota = ctx.smoke() ? 64 : 256;
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  rt.Run([&](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    auto measure = [&](bool jquick) {
+      auto input = jsort::GenerateInput(jsort::InputKind::kZipf, world.Rank(),
+                                        world.Size(), quota, 29);
+      auto tr = jsort::MakeRbcTransport(rw);
+      benchutil::Measurement m{};
+      const auto out = jquick ? jsort::JQuickSort(tr, std::move(input))
+                              : jsort::HypercubeQuicksort(tr, std::move(input));
+      const auto bal = jsort::GlobalBalance(out, rw);
+      if (world.Rank() == 0) {
+        ctx.Row("ablate_balance", jquick ? "jquick" : "hypercube", ranks,
+                quota, m,
+                {{"min_count", static_cast<std::int64_t>(bal.min_count)},
+                 {"max_count", static_cast<std::int64_t>(bal.max_count)}});
+      }
+    };
+    measure(/*jquick=*/true);
+    measure(/*jquick=*/false);
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_ablate_pivot";
+  spec.figure = "Section VIII-A";
+  spec.description =
+      "pivot-policy ablation (median-of-samples vs random element) plus the "
+      "JQuick-vs-hypercube balance contrast on zipf input";
+  spec.default_p = 64;
+  spec.default_reps = 3;
+  spec.sections = {
+      {"pivot", "vtime and recursion depth per pivot policy and input",
+       RunPivot},
+      {"balance", "output balance contrast on a zipf input", RunBalance}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

@@ -2,24 +2,26 @@
 // process count. The paper measures p = 2^15 where communicator creation
 // dominates for moderate n/p; at reproduction scale the same mechanism
 // shows as a ratio that grows monotonically with p (extrapolating to the
-// paper's factors at 2^15).
-#include <cstdio>
+// paper's 15x..1282x factors at 2^15). Backends: rbc, mpi_fast (Intel-like
+// create_group), mpi_slow (IBM-like serial agreement); every row carries
+// vtime_ratio_vs_rbc (1.0 on the rbc rows).
+#include <algorithm>
+#include <memory>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "sort/jquick.hpp"
 #include "sort/workload.hpp"
 
 namespace {
 
-constexpr int kReps = 3;
 constexpr int kQuota = 16;  // moderate n/p, creation-dominated
 
-double Measure(mpisim::Comm& world, bool use_rbc) {
-  const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+double Measure(mpisim::Comm& world, bool use_rbc, int reps,
+               double* wall_ms) {
+  const auto m = benchutil::MeasureOnRanks(world, reps, [&] {
     auto input = jsort::GenerateInput(jsort::InputKind::kUniform,
-                                      world.Rank(), world.Size(), kQuota,
-                                      31);
+                                      world.Rank(), world.Size(), kQuota, 31);
     std::shared_ptr<jsort::Transport> tr;
     if (use_rbc) {
       rbc::Comm rw;
@@ -30,28 +32,27 @@ double Measure(mpisim::Comm& world, bool use_rbc) {
     }
     jsort::JQuickSort(tr, std::move(input));
   });
+  if (wall_ms != nullptr) *wall_ms = m.wall_ms;
   return m.vtime;
 }
 
-}  // namespace
-
-int main() {
-  std::printf(
-      "# Ablation: JQuick RBC advantage vs process count (n/p=%d, median "
-      "of %d)\n",
-      kQuota, kReps);
-  benchutil::PrintRowHeader(
-      {"p", "RBC.vt", "MPIfast.vt", "MPIslow.vt", "fast/RBC", "slow/RBC"});
-  for (int p = 8; p <= 256; p *= 2) {
+void RunScaling(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(3);
+  const int max_p = ctx.smoke() ? 16 : 256;
+  for (int p = 8; p <= max_p; p *= 2) {
     double rbc_vt = 0.0, fast_vt = 0.0, slow_vt = 0.0;
+    double rbc_wall = 0.0, fast_wall = 0.0, slow_wall = 0.0;
     {
       mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
       rt.Run([&](mpisim::Comm& world) {
-        const double a = Measure(world, true);
-        const double b = Measure(world, false);
+        double wa = 0.0, wb = 0.0;
+        const double a = Measure(world, true, reps, &wa);
+        const double b = Measure(world, false, reps, &wb);
         if (world.Rank() == 0) {
           rbc_vt = a;
           fast_vt = b;
+          rbc_wall = wa;
+          fast_wall = wb;
         }
       });
     }
@@ -60,20 +61,39 @@ int main() {
           .num_ranks = p,
           .profile = mpisim::VendorProfile::kSlowCreateGroup});
       rt.Run([&](mpisim::Comm& world) {
-        const double b = Measure(world, false);
-        if (world.Rank() == 0) slow_vt = b;
+        double wb = 0.0;
+        const double b = Measure(world, false, reps, &wb);
+        if (world.Rank() == 0) {
+          slow_vt = b;
+          slow_wall = wb;
+        }
       });
     }
-    benchutil::PrintCell(static_cast<double>(p));
-    benchutil::PrintCell(rbc_vt);
-    benchutil::PrintCell(fast_vt);
-    benchutil::PrintCell(slow_vt);
-    benchutil::PrintCell(fast_vt / std::max(rbc_vt, 1e-9));
-    benchutil::PrintCell(slow_vt / std::max(rbc_vt, 1e-9));
-    benchutil::EndRow();
+    const double denom = std::max(rbc_vt, 1e-9);
+    ctx.Row("ablate_scaling", "rbc", p, kQuota,
+            benchutil::Measurement{rbc_wall, rbc_vt},
+            {{"vtime_ratio_vs_rbc", 1.0}});
+    ctx.Row("ablate_scaling", "mpi_fast", p, kQuota,
+            benchutil::Measurement{fast_wall, fast_vt},
+            {{"vtime_ratio_vs_rbc", fast_vt / denom}});
+    ctx.Row("ablate_scaling", "mpi_slow", p, kQuota,
+            benchutil::Measurement{slow_wall, slow_vt},
+            {{"vtime_ratio_vs_rbc", slow_vt / denom}});
   }
-  std::printf(
-      "\n# Shape check: both ratio columns grow monotonically with p -- "
-      "the mechanism behind\n# the paper's 15x..1282x factors at p=2^15.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_ablate_scaling";
+  spec.figure = "Section VIII / Table at p=2^15";
+  spec.description =
+      "JQuick RBC-vs-native advantage as a function of the process count";
+  spec.default_p = 256;
+  spec.default_reps = 3;
+  spec.sections = {{"scaling", "process-count sweep at creation-dominated "
+                               "n/p=16",
+                    RunScaling}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

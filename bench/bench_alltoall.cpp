@@ -7,47 +7,22 @@
 // counts round, the sparse barriers) from the substrate's traffic
 // counters; the large-message rows add the exchange layer's wire-segment
 // count and the measured maximum single-message size, which the
-// segmented paths must keep at or below segment_bytes.
-//
-// Output is machine-readable JSON (one top-level array of measurement
-// objects) so the results can accumulate into the BENCH_*.json perf
-// trajectory:
-//   ./bench_alltoall > BENCH_alltoall.json
-// `--smoke` shrinks the sweeps for CI.
-#include <cstdio>
-#include <cstring>
-#include <string>
+// segmented paths must keep at or below segment_bytes (the manifest
+// assertion CI gates on).
+#include <cstdint>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "rbc/rbc.hpp"
 #include "sort/exchange.hpp"
 
 namespace {
 
-constexpr int kReps = 5;
-
-benchutil::JsonRows rows;
-
-void EmitRow(const char* bench, const char* backend, int p, long long count,
-             const benchutil::Measurement& m, long long messages = -1,
-             const std::string& more = {}) {
-  std::string extra;
-  if (messages >= 0) {
-    extra = "\"messages\": " + std::to_string(messages);
-  }
-  if (!more.empty()) {
-    if (!extra.empty()) extra += ", ";
-    extra += more;
-  }
-  rows.Row(bench, backend, p, count, m, extra);
-}
-
 /// Uniform personalized exchange: every rank sends `count` elements to
 /// every peer, RBC schedule vs the substrate's native implementation.
-void UniformSweep(int p) {
+void UniformSweepAt(benchutil::BenchContext& ctx, int p, int reps) {
   mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
-  rt.Run([p](mpisim::Comm& world) {
+  rt.Run([&, p](mpisim::Comm& world) {
     rbc::Comm rw;
     rbc::Create_RBC_Comm(world, &rw);
     for (int count : {1, 16, 256, 4096}) {
@@ -60,21 +35,29 @@ void UniformSweep(int p) {
       for (int i = 0; i < p; ++i) {
         displs[static_cast<std::size_t>(i)] = i * count;
       }
-      const auto mpi = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto mpi = benchutil::MeasureOnRanks(world, reps, [&] {
         mpisim::Alltoallv(send.data(), counts, displs,
                           mpisim::Datatype::kFloat64, recv.data(), counts,
                           displs, world);
       });
-      const auto rbcm = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto rbcm = benchutil::MeasureOnRanks(world, reps, [&] {
         rbc::Alltoallv(send.data(), counts, displs, rbc::Datatype::kFloat64,
                        recv.data(), counts, displs, rw);
       });
       if (world.Rank() == 0) {
-        EmitRow("alltoallv_uniform", "mpi", p, count, mpi);
-        EmitRow("alltoallv_uniform", "rbc", p, count, rbcm);
+        ctx.Row("alltoallv_uniform", "mpi", p, count, mpi);
+        ctx.Row("alltoallv_uniform", "rbc", p, count, rbcm);
       }
     }
   });
+}
+
+void UniformSweep(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  for (int p : ctx.smoke() ? std::vector<int>{4, 8}
+                           : std::vector<int>{4, 8, 16, 32}) {
+    UniformSweepAt(ctx, p, reps);
+  }
 }
 
 /// Skewed redistribution: every rank's elements all belong to one
@@ -82,9 +65,9 @@ void UniformSweep(int p) {
 /// paths. Alongside the timings, one extra untimed run measures the
 /// maximum per-rank message count (payload + metadata) from the
 /// substrate's traffic counters.
-void SkewSweep(int p) {
+void SkewSweepAt(benchutil::BenchContext& ctx, int p, int reps) {
   mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
-  rt.Run([p](mpisim::Comm& world) {
+  rt.Run([&, p](mpisim::Comm& world) {
     rbc::Comm rw;
     rbc::Create_RBC_Comm(world, &rw);
     auto tr = jsort::MakeRbcTransport(rw);
@@ -108,7 +91,7 @@ void SkewSweep(int p) {
       for (auto mode : {jsort::exchange::Mode::kAlltoallv,
                         jsort::exchange::Mode::kCoalesced,
                         jsort::exchange::Mode::kSparse}) {
-        const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+        const auto m = benchutil::MeasureOnRanks(world, reps, [&] {
           run_once(mode);
         });
         // Untimed message-count pass: max per-rank sends of one exchange
@@ -124,12 +107,21 @@ void SkewSweep(int p) {
         mpisim::Allreduce(&local, &max_msgs, 1, mpisim::Datatype::kFloat64,
                           mpisim::ReduceOp::kMax, world);
         if (world.Rank() == 0) {
-          EmitRow("segment_exchange_skewed", benchutil::ModeName(mode), p,
-                  cap, m, static_cast<long long>(max_msgs));
+          ctx.Row("segment_exchange_skewed", benchutil::ModeName(mode), p,
+                  cap, m,
+                  {{"messages", static_cast<std::int64_t>(max_msgs)}});
         }
       }
     }
   });
+}
+
+void SkewSweep(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  for (int p : ctx.smoke() ? std::vector<int>{8}
+                           : std::vector<int>{8, 16, 32}) {
+    SkewSweepAt(ctx, p, reps);
+  }
 }
 
 /// Large-message regime on the skewed rotation: one destination receives
@@ -139,9 +131,10 @@ void SkewSweep(int p) {
 /// and the measured maximum single-message size across all ranks -- the
 /// acceptance check is max_msg_bytes <= segment_bytes on the segmented
 /// rows.
-void LargeMessageSweep(int p, int cap) {
+void LargeMessageSweepAt(benchutil::BenchContext& ctx, int p, int cap,
+                         int reps) {
   mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
-  rt.Run([p, cap](mpisim::Comm& world) {
+  rt.Run([&, p, cap](mpisim::Comm& world) {
     rbc::Comm rw;
     rbc::Create_RBC_Comm(world, &rw);
     auto tr = jsort::MakeRbcTransport(rw);
@@ -166,7 +159,7 @@ void LargeMessageSweep(int p, int cap) {
                       jsort::exchange::Mode::kSparse}) {
       for (std::int64_t seg :
            {std::int64_t{0}, std::int64_t{4096}, std::int64_t{65536}}) {
-        const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+        const auto m = benchutil::MeasureOnRanks(world, reps, [&] {
           run_once(mode, seg, nullptr);
         });
         // Untimed accounting pass: per-rank message count, wire segments,
@@ -192,31 +185,45 @@ void LargeMessageSweep(int p, int cap) {
                           mpisim::Datatype::kFloat64, mpisim::ReduceOp::kMax,
                           world);
         if (world.Rank() == 0) {
-          EmitRow("segment_exchange_large", benchutil::ModeName(mode), p,
-                  cap, m, static_cast<long long>(max_msgs),
-                  "\"segment_bytes\": " + std::to_string(seg) +
-                      ", \"segments\": " + std::to_string(stats.segments) +
-                      ", \"max_msg_bytes\": " +
-                      std::to_string(static_cast<long long>(max_bytes)));
+          ctx.Row("segment_exchange_large", benchutil::ModeName(mode), p,
+                  cap, m,
+                  {{"messages", static_cast<std::int64_t>(max_msgs)},
+                   {"segment_bytes", seg},
+                   {"segments", stats.segments},
+                   {"max_msg_bytes",
+                    static_cast<std::int64_t>(max_bytes)}});
         }
       }
     }
   });
 }
 
+void LargeMessageSweep(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  if (ctx.smoke()) {
+    LargeMessageSweepAt(ctx, 8, 1 << 12, reps);
+  } else {
+    for (int p : {8, 16}) LargeMessageSweepAt(ctx, p, 1 << 13, reps);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  if (smoke) {
-    for (int p : {4, 8}) UniformSweep(p);
-    for (int p : {8}) SkewSweep(p);
-    LargeMessageSweep(8, 1 << 12);
-  } else {
-    for (int p : {4, 8, 16, 32}) UniformSweep(p);
-    for (int p : {8, 16, 32}) SkewSweep(p);
-    for (int p : {8, 16}) LargeMessageSweep(p, 1 << 13);
-  }
-  rows.Close();
-  return 0;
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_alltoall";
+  spec.figure = "exchange layer (Sections IV/VII infrastructure)";
+  spec.description =
+      "uniform and skewed all-to-all exchanges across the dense, coalesced "
+      "and sparse delivery paths, plus the segmented large-message regime";
+  spec.default_p = 32;
+  spec.default_reps = 5;
+  spec.sections = {
+      {"uniform", "rbc vs native Alltoallv on uniform exchanges",
+       UniformSweep},
+      {"skewed", "delivery-path comparison on the neighbour rotation",
+       SkewSweep},
+      {"large", "segment_bytes sweep in the large-message regime",
+       LargeMessageSweep}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

@@ -1,51 +1,58 @@
 // Extension bench (Section V-D: "easy to extend ... e.g., for large input
 // sizes"): binomial-tree broadcast vs the scatter+ring-allgather large-
 // input broadcast. Locates the crossover: the tree costs ~beta*l*log(p)
-// bandwidth, the pipeline ~2*beta*l but alpha*(p-1) latency.
-#include <cstdio>
+// bandwidth, the pipeline ~2*beta*l but alpha*(p-1) latency. Every row
+// carries vtime_ratio = tree.vtime / pipeline.vtime of its payload (< 1
+// below the crossover, approaching log2(p)/2 above it).
+#include <algorithm>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "rbc/rbc.hpp"
 
 namespace {
 
-constexpr int kRanks = 64;
-constexpr int kReps = 3;
-
-}  // namespace
-
-int main() {
-  std::printf(
-      "# Extension: tree vs large-input broadcast, p=%d (median of %d)\n",
-      kRanks, kReps);
-  benchutil::PrintRowHeader(
-      {"elements", "tree.vt", "large.vt", "tree/large"});
-  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
-  rt.Run([](mpisim::Comm& world) {
+void RunBcast(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int reps = ctx.reps(3);
+  const int min_log = 4;
+  const int max_log = ctx.smoke() ? 10 : 20;
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  rt.Run([&](mpisim::Comm& world) {
     rbc::Comm rw;
     rbc::Create_RBC_Comm(world, &rw);
-    for (int lg = 4; lg <= 20; lg += 2) {
+    for (int lg = min_log; lg <= max_log; lg += 2) {
       const int n = 1 << lg;
       std::vector<double> buf(static_cast<std::size_t>(n), 1.0);
-      const auto tree = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto tree = benchutil::MeasureOnRanks(world, reps, [&] {
         rbc::Bcast(buf.data(), n, rbc::Datatype::kFloat64, 0, rw);
       });
-      const auto large = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto large = benchutil::MeasureOnRanks(world, reps, [&] {
         rbc::BcastLarge(buf.data(), n, rbc::Datatype::kFloat64, 0, rw);
       });
       if (world.Rank() == 0) {
-        benchutil::PrintCell(static_cast<double>(n));
-        benchutil::PrintCell(tree.vtime);
-        benchutil::PrintCell(large.vtime);
-        benchutil::PrintCell(tree.vtime / std::max(large.vtime, 1e-9));
-        benchutil::EndRow();
+        const double ratio = tree.vtime / std::max(large.vtime, 1e-9);
+        ctx.Row("ext_bcast_large", "tree", ranks, n, tree,
+                {{"vtime_ratio", ratio}});
+        ctx.Row("ext_bcast_large", "pipeline", ranks, n, large,
+                {{"vtime_ratio", ratio}});
       }
     }
   });
-  std::printf(
-      "\n# Shape check: ratio < 1 for small payloads (latency-bound), "
-      "crosses 1 and\n# approaches log2(p)/2 = 3 for large payloads "
-      "(bandwidth-bound).\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_ext_bcast_large";
+  spec.figure = "Section V-D";
+  spec.description =
+      "binomial-tree vs scatter+ring-allgather broadcast crossover";
+  spec.default_p = 64;
+  spec.default_reps = 3;
+  spec.sections = {
+      {"bcast", "payload sweep across the tree/pipeline crossover",
+       RunBcast}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

@@ -8,53 +8,47 @@
 // reproduction both sides run comparable binomial/doubling algorithms, so
 // the expected shape is "about the same" across the sweep -- the paper's
 // headline that range-based communicators add no hidden collective
-// overhead.
-#include <cstdio>
+// overhead. Every row carries vtime_ratio = MPI.vtime / RBC.vtime (the
+// same value on both rows of a pair), which must stay near 1.
+#include <algorithm>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "rbc/rbc.hpp"
 
 namespace {
 
-constexpr int kRanks = 64;
-constexpr int kReps = 5;
-constexpr int kMaxLog = 14;
-
-void RunBench() {
-  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
-  std::printf("# Figure 4: Iscan on p=%d ranks, doubles, median of %d\n",
-              kRanks, kReps);
-  benchutil::PrintRowHeader({"n/p", "MPI.vtime", "RBC.vtime", "MPI.wall_ms",
-                             "RBC.wall_ms", "vtime MPI/RBC"});
-  rt.Run([](mpisim::Comm& world) {
+void RunIscan(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 8 : 64;
+  const int reps = ctx.reps(5);
+  const int max_log = ctx.smoke() ? 4 : 14;
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  rt.Run([&](mpisim::Comm& world) {
     rbc::Comm rw;
     rbc::Create_RBC_Comm(world, &rw);
-    for (int lg = 0; lg <= kMaxLog; lg += 2) {
+    for (int lg = 0; lg <= max_log; lg += 2) {
       const int n = 1 << lg;
       std::vector<double> in(static_cast<std::size_t>(n), 1.0);
       std::vector<double> out(static_cast<std::size_t>(n), 0.0);
 
-      const auto mpi = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto mpi = benchutil::MeasureOnRanks(world, reps, [&] {
         mpisim::Request r =
             mpisim::Iscan(in.data(), out.data(), n, mpisim::Datatype::kFloat64,
                           mpisim::ReduceOp::kSum, world);
         mpisim::Wait(r);
       });
-      const auto rbcm = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto rbcm = benchutil::MeasureOnRanks(world, reps, [&] {
         rbc::Request r;
         rbc::Iscan(in.data(), out.data(), n, rbc::Datatype::kFloat64,
                    rbc::ReduceOp::kSum, rw, &r);
         rbc::Wait(&r);
       });
       if (world.Rank() == 0) {
-        benchutil::PrintCell(static_cast<double>(n));
-        benchutil::PrintCell(mpi.vtime);
-        benchutil::PrintCell(rbcm.vtime);
-        benchutil::PrintCell(mpi.wall_ms);
-        benchutil::PrintCell(rbcm.wall_ms);
-        benchutil::PrintCell(mpi.vtime / rbcm.vtime);
-        benchutil::EndRow();
+        const double ratio = mpi.vtime / std::max(rbcm.vtime, 1e-9);
+        ctx.Row("fig4_iscan", "mpi", ranks, n, mpi,
+                {{"vtime_ratio", ratio}});
+        ctx.Row("fig4_iscan", "rbc", ranks, n, rbcm,
+                {{"vtime_ratio", ratio}});
       }
     }
   });
@@ -62,7 +56,14 @@ void RunBench() {
 
 }  // namespace
 
-int main() {
-  RunBench();
-  return 0;
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_fig4_iscan";
+  spec.figure = "Figure 4";
+  spec.description =
+      "nonblocking inclusive scan, native MPI vs rbc::Iscan, sweeping n/p";
+  spec.default_p = 64;
+  spec.default_reps = 5;
+  spec.sections = {{"iscan", "MPI-vs-RBC Iscan sweep over n/p", RunIscan}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

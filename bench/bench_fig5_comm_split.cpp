@@ -1,105 +1,97 @@
 // Figure 5: time to split a communicator of p processes into two halves
 // (processes 0..p/2-1 and p/2..p-1), sweeping p.
 //
-// Methods:
-//   RBC            rbc::Split_RBC_Comm           local, O(1)
-//   MPI_Comm_create_group (fast profile ~ Intel) mask all-reduce +
-//                                                explicit O(p) group array
-//   MPI_Comm_create_group (slow profile ~ IBM)   serial ring agreement
-//   MPI_Comm_split                               allgather over the whole
-//                                                parent + O(p) grouping
+// Backends:
+//   rbc                rbc::Split_RBC_Comm            local, O(1)
+//   create_group_fast  MPI_Comm_create_group (~Intel) mask all-reduce +
+//                                                     explicit O(p) group
+//   create_group_slow  MPI_Comm_create_group (~IBM)   serial ring agreement
+//   comm_split         MPI_Comm_split                 allgather over the
+//                                                     whole parent
 //
-// Paper shape: RBC is negligible; Intel create_group grows linearly in p;
-// split is about 2x create_group; IBM create_group is off by orders of
-// magnitude. The ">400x" creation speedup quoted in the abstract falls
-// out of the RBC vs create_group columns at large p.
-#include <cstdio>
+// Paper shape: RBC is negligible (vtime stays 0: the split sends no
+// messages); Intel create_group grows linearly in p; split is about 2x
+// create_group; IBM create_group is off by orders of magnitude. The
+// ">400x" creation speedup quoted in the abstract falls out of the RBC vs
+// create_group rows at large p. count = p/2, the size of the created
+// half.
+#include <array>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "rbc/rbc.hpp"
 
 namespace {
 
-constexpr int kReps = 5;
-
-benchutil::Measurement MeasureRbcSplit(mpisim::Comm& world) {
+benchutil::Measurement MeasureRbcSplit(mpisim::Comm& world, int reps) {
   rbc::Comm rw;
   rbc::Create_RBC_Comm(world, &rw);
   const int p = world.Size();
   const bool low = world.Rank() < p / 2;
-  return benchutil::MeasureOnRanks(world, kReps, [&] {
+  return benchutil::MeasureOnRanks(world, reps, [&] {
     rbc::Comm half;
     rbc::Split_RBC_Comm(rw, low ? 0 : p / 2, low ? p / 2 - 1 : p - 1, &half);
   });
 }
 
-benchutil::Measurement MeasureCreateGroup(mpisim::Comm& world) {
+benchutil::Measurement MeasureCreateGroup(mpisim::Comm& world, int reps) {
   const int p = world.Size();
   const bool low = world.Rank() < p / 2;
   const mpisim::RankRange range =
       low ? mpisim::RankRange{0, p / 2 - 1, 1}
           : mpisim::RankRange{p / 2, p - 1, 1};
-  return benchutil::MeasureOnRanks(world, kReps, [&] {
+  return benchutil::MeasureOnRanks(world, reps, [&] {
     const std::array<mpisim::RankRange, 1> rr{range};
     mpisim::Comm half = mpisim::CommCreateGroup(
         world, mpisim::GroupRangeIncl(world, rr), /*tag=*/1);
   });
 }
 
-benchutil::Measurement MeasureSplit(mpisim::Comm& world) {
+benchutil::Measurement MeasureSplit(mpisim::Comm& world, int reps) {
   const int p = world.Size();
   const int color = world.Rank() < p / 2 ? 0 : 1;
-  return benchutil::MeasureOnRanks(world, kReps, [&] {
+  return benchutil::MeasureOnRanks(world, reps, [&] {
     mpisim::Comm half = mpisim::CommSplit(world, color, world.Rank());
   });
 }
 
-struct Row {
-  int p;
-  benchutil::Measurement rbc, cg_fast, cg_slow, split;
-};
-
-}  // namespace
-
-int main() {
-  std::printf(
-      "# Figure 5: splitting p ranks into two halves (vtime = model time, "
-      "median of %d)\n",
-      kReps);
-  benchutil::PrintRowHeader({"p", "RBC.vtime", "CGfast.vtime", "CGslow.vtime",
-                             "Split.vtime", "CGfast/RBCwall", "RBC.wall_ms",
-                             "CGfast.wall_ms"});
-  for (int p = 8; p <= 256; p *= 2) {
-    Row row{};
-    row.p = p;
+void RunSplit(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  const int max_p = ctx.smoke() ? 16 : 256;
+  for (int p = 8; p <= max_p; p *= 2) {
+    benchutil::Measurement rbc_m, cg_fast, cg_slow, split;
     {
       mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
       rt.Run([&](mpisim::Comm& world) {
-        row.rbc = MeasureRbcSplit(world);
-        row.cg_fast = MeasureCreateGroup(world);
-        row.split = MeasureSplit(world);
+        rbc_m = MeasureRbcSplit(world, reps);
+        cg_fast = MeasureCreateGroup(world, reps);
+        split = MeasureSplit(world, reps);
       });
     }
     {
       mpisim::Runtime rt(mpisim::Runtime::Options{
           .num_ranks = p, .profile = mpisim::VendorProfile::kSlowCreateGroup});
-      rt.Run([&](mpisim::Comm& world) { row.cg_slow = MeasureCreateGroup(world); });
+      rt.Run(
+          [&](mpisim::Comm& world) { cg_slow = MeasureCreateGroup(world, reps); });
     }
-    benchutil::PrintCell(static_cast<double>(row.p));
-    benchutil::PrintCell(row.rbc.vtime);
-    benchutil::PrintCell(row.cg_fast.vtime);
-    benchutil::PrintCell(row.cg_slow.vtime);
-    benchutil::PrintCell(row.split.vtime);
-    benchutil::PrintCell(row.cg_fast.wall_ms /
-                         std::max(row.rbc.wall_ms, 1e-6));
-    benchutil::PrintCell(row.rbc.wall_ms);
-    benchutil::PrintCell(row.cg_fast.wall_ms);
-    benchutil::EndRow();
+    ctx.Row("fig5_split", "rbc", p, p / 2, rbc_m);
+    ctx.Row("fig5_split", "create_group_fast", p, p / 2, cg_fast);
+    ctx.Row("fig5_split", "create_group_slow", p, p / 2, cg_slow);
+    ctx.Row("fig5_split", "comm_split", p, p / 2, split);
   }
-  std::printf(
-      "\n# Shape check: RBC.vtime must stay 0 (local creation); CGfast and "
-      "Split grow with p;\n# CGslow is orders of magnitude above CGfast "
-      "(serialized ring agreement).\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_fig5_comm_split";
+  spec.figure = "Figure 5";
+  spec.description =
+      "splitting p ranks into two halves: RBC vs create_group (fast/slow "
+      "vendor profiles) vs comm_split";
+  spec.default_p = 256;
+  spec.default_reps = 5;
+  spec.sections = {{"split", "two-halves split sweep over p", RunSplit}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

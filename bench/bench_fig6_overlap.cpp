@@ -2,26 +2,26 @@
 // communicators of size 4 -- groups 0..3, 3..6, 6..9, ... -- where every
 // third process is part of two groups and must order its two creations.
 //
-// Schedules:
+// Schedules (the `schedule` row field):
 //   cascaded     every overlap process creates its left group first; the
 //                creations chain across the whole machine.
 //   alternating  every other overlap process creates the right group
 //                first, bounding cascades at depth ~2.
 //
 // Paper shape: with RBC both schedules are negligible and identical (the
-// creations are local); with native MPI_Comm_create_group the cascaded
-// schedule becomes extremely slow as p grows while alternating stays
-// moderate.
-#include <cstdio>
-#include <memory>
+// creations are local, vtime 0); with native MPI_Comm_create_group the
+// cascaded schedule becomes extremely slow as p grows while alternating
+// stays moderate.
+#include <algorithm>
+#include <array>
+#include <utility>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "rbc/rbc.hpp"
 
 namespace {
 
-constexpr int kReps = 3;
 constexpr int kGroup = 3;  // group i covers ranks [3i, 3i+3]
 
 struct MyGroups {
@@ -45,11 +45,12 @@ MyGroups GroupsOf(int rank, int p) {
   return g;
 }
 
-benchutil::Measurement MeasureRbc(mpisim::Comm& world, bool alternating) {
+benchutil::Measurement MeasureRbc(mpisim::Comm& world, bool alternating,
+                                  int reps) {
   rbc::Comm rw;
   rbc::Create_RBC_Comm(world, &rw);
   const MyGroups g = GroupsOf(world.Rank(), world.Size());
-  return benchutil::MeasureOnRanks(world, kReps, [&] {
+  return benchutil::MeasureOnRanks(world, reps, [&] {
     auto ranges = g.ranges;
     if (g.overlap && alternating && g.ordinal % 2 == 0) {
       std::swap(ranges[0], ranges[1]);  // create the right group first
@@ -61,9 +62,10 @@ benchutil::Measurement MeasureRbc(mpisim::Comm& world, bool alternating) {
   });
 }
 
-benchutil::Measurement MeasureMpi(mpisim::Comm& world, bool alternating) {
+benchutil::Measurement MeasureMpi(mpisim::Comm& world, bool alternating,
+                                  int reps) {
   const MyGroups g = GroupsOf(world.Rank(), world.Size());
-  return benchutil::MeasureOnRanks(world, kReps, [&] {
+  return benchutil::MeasureOnRanks(world, reps, [&] {
     auto ranges = g.ranges;
     if (g.overlap && alternating && g.ordinal % 2 == 0) {
       std::swap(ranges[0], ranges[1]);
@@ -78,35 +80,43 @@ benchutil::Measurement MeasureMpi(mpisim::Comm& world, bool alternating) {
   });
 }
 
-}  // namespace
-
-int main() {
-  std::printf(
-      "# Figure 6: overlapping communicators of size 4, cascaded vs "
-      "alternating (median of %d)\n",
-      kReps);
-  benchutil::PrintRowHeader({"p", "RBC.casc.vt", "RBC.alt.vt", "MPI.casc.vt",
-                             "MPI.alt.vt", "MPIcasc/MPIalt"});
-  for (int p = 16; p <= 256; p *= 2) {
+void RunOverlap(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(3);
+  const int min_p = 16;
+  const int max_p = ctx.smoke() ? 16 : 256;
+  for (int p = min_p; p <= max_p; p *= 2) {
     benchutil::Measurement rbc_c, rbc_a, mpi_c, mpi_a;
     mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
     rt.Run([&](mpisim::Comm& world) {
-      rbc_c = MeasureRbc(world, /*alternating=*/false);
-      rbc_a = MeasureRbc(world, /*alternating=*/true);
-      mpi_c = MeasureMpi(world, /*alternating=*/false);
-      mpi_a = MeasureMpi(world, /*alternating=*/true);
+      rbc_c = MeasureRbc(world, /*alternating=*/false, reps);
+      rbc_a = MeasureRbc(world, /*alternating=*/true, reps);
+      mpi_c = MeasureMpi(world, /*alternating=*/false, reps);
+      mpi_a = MeasureMpi(world, /*alternating=*/true, reps);
     });
-    benchutil::PrintCell(static_cast<double>(p));
-    benchutil::PrintCell(rbc_c.vtime);
-    benchutil::PrintCell(rbc_a.vtime);
-    benchutil::PrintCell(mpi_c.vtime);
-    benchutil::PrintCell(mpi_a.vtime);
-    benchutil::PrintCell(mpi_c.vtime / std::max(mpi_a.vtime, 1e-9));
-    benchutil::EndRow();
+    ctx.Row("fig6_overlap", "rbc", p, kGroup + 1, rbc_c,
+            {{"schedule", "cascaded"}});
+    ctx.Row("fig6_overlap", "rbc", p, kGroup + 1, rbc_a,
+            {{"schedule", "alternating"}});
+    ctx.Row("fig6_overlap", "mpi", p, kGroup + 1, mpi_c,
+            {{"schedule", "cascaded"}});
+    ctx.Row("fig6_overlap", "mpi", p, kGroup + 1, mpi_a,
+            {{"schedule", "alternating"}});
   }
-  std::printf(
-      "\n# Shape check: RBC columns stay ~0 and schedule-independent; the "
-      "MPI cascaded column\n# grows linearly with p (chained creations) "
-      "while alternating grows much more slowly.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_fig6_overlap";
+  spec.figure = "Figure 6";
+  spec.description =
+      "overlapping size-4 communicators, cascaded vs alternating creation "
+      "order, RBC vs native MPI";
+  spec.default_p = 256;
+  spec.default_reps = 3;
+  spec.sections = {
+      {"overlap", "cascaded vs alternating creation sweep over p",
+       RunOverlap}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

@@ -1,31 +1,29 @@
 // Figure 7: broadcast on a sub-range of half the processes of a parent
 // communicator. Native MPI must first create the sub-communicator with a
-// blocking call; RBC splits locally. Two experiments: split + 1 broadcast
-// and split + 50 broadcasts (amortizing the creation). The figure reports
-// the running-time ratio native/RBC, sweeping the payload.
+// blocking call; RBC splits locally. Two experiments (the `bcasts` row
+// field): split + 1 broadcast and split + 50 broadcasts (amortizing the
+// creation). Every row carries vtime_ratio = MPI.vtime / RBC.vtime of its
+// (payload, bcasts) configuration -- the figure's reported metric.
 //
 // Paper shape: for moderate payloads (n <= 2^10) the single-broadcast
 // ratio is 40..200x and the 50-broadcast ratio 3..15x; for large payloads
 // the data movement dominates and the ratios approach 1.
-#include <cstdio>
+#include <algorithm>
+#include <array>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "rbc/rbc.hpp"
 
 namespace {
 
-constexpr int kRanks = 128;
-constexpr int kReps = 3;
-constexpr int kMaxLog = 16;
-
-double MeasureRbc(mpisim::Comm& world, int n, int bcasts,
-                  std::vector<double>& buf) {
+benchutil::Measurement MeasureRbc(mpisim::Comm& world, int n, int bcasts,
+                                  int reps, std::vector<double>& buf) {
   rbc::Comm rw;
   rbc::Create_RBC_Comm(world, &rw);
   const int half = world.Size() / 2;
   const bool in_range = world.Rank() < half;
-  const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+  return benchutil::MeasureOnRanks(world, reps, [&] {
     rbc::Comm sub;
     rbc::Split_RBC_Comm(rw, 0, half - 1, &sub);
     if (in_range) {
@@ -36,14 +34,13 @@ double MeasureRbc(mpisim::Comm& world, int n, int bcasts,
       }
     }
   });
-  return m.vtime;
 }
 
-double MeasureMpi(mpisim::Comm& world, int n, int bcasts,
-                  std::vector<double>& buf) {
+benchutil::Measurement MeasureMpi(mpisim::Comm& world, int n, int bcasts,
+                                  int reps, std::vector<double>& buf) {
   const int half = world.Size() / 2;
   const bool in_range = world.Rank() < half;
-  const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+  return benchutil::MeasureOnRanks(world, reps, [&] {
     if (in_range) {
       const std::array<mpisim::RankRange, 1> rr{
           mpisim::RankRange{0, half - 1, 1}};
@@ -56,40 +53,46 @@ double MeasureMpi(mpisim::Comm& world, int n, int bcasts,
       }
     }
   });
-  return m.vtime;
+}
+
+void RunRangeBcast(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 128;
+  const int reps = ctx.reps(3);
+  const int max_log = ctx.smoke() ? 4 : 16;
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  rt.Run([&](mpisim::Comm& world) {
+    for (int lg = 0; lg <= max_log; lg += 2) {
+      const int n = 1 << lg;
+      std::vector<double> buf(static_cast<std::size_t>(n), 1.0);
+      for (int bcasts : {1, 50}) {
+        const auto rbcm = MeasureRbc(world, n, bcasts, reps, buf);
+        const auto mpim = MeasureMpi(world, n, bcasts, reps, buf);
+        if (world.Rank() == 0) {
+          const double ratio =
+              mpim.vtime / std::max(rbcm.vtime, 1e-9);
+          ctx.Row("fig7_range_bcast", "rbc", ranks, n, rbcm,
+                  {{"bcasts", bcasts}, {"vtime_ratio", ratio}});
+          ctx.Row("fig7_range_bcast", "mpi", ranks, n, mpim,
+                  {{"bcasts", bcasts}, {"vtime_ratio", ratio}});
+        }
+      }
+    }
+  });
 }
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "# Figure 7: ratio of (split + k broadcasts) native MPI / RBC on a "
-      "sub-range of %d of %d ranks\n",
-      kRanks / 2, kRanks);
-  benchutil::PrintRowHeader(
-      {"elements", "ratio.1x", "ratio.50x", "RBC.1x.vt", "MPI.1x.vt"});
-  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
-  rt.Run([](mpisim::Comm& world) {
-    for (int lg = 0; lg <= kMaxLog; lg += 2) {
-      const int n = 1 << lg;
-      std::vector<double> buf(static_cast<std::size_t>(n), 1.0);
-      const double rbc1 = MeasureRbc(world, n, 1, buf);
-      const double mpi1 = MeasureMpi(world, n, 1, buf);
-      const double rbc50 = MeasureRbc(world, n, 50, buf);
-      const double mpi50 = MeasureMpi(world, n, 50, buf);
-      if (world.Rank() == 0) {
-        benchutil::PrintCell(static_cast<double>(n));
-        benchutil::PrintCell(mpi1 / std::max(rbc1, 1e-9));
-        benchutil::PrintCell(mpi50 / std::max(rbc50, 1e-9));
-        benchutil::PrintCell(rbc1);
-        benchutil::PrintCell(mpi1);
-        benchutil::EndRow();
-      }
-    }
-  });
-  std::printf(
-      "\n# Shape check: both ratio columns start well above 1 (creation "
-      "dominates), the 50x\n# column sits far below the 1x column, and "
-      "both decay toward 1 as the payload grows.\n");
-  return 0;
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_fig7_range_bcast";
+  spec.figure = "Figure 7";
+  spec.description =
+      "split + k broadcasts on a half-range: native MPI / RBC running-time "
+      "ratio over the payload sweep";
+  spec.default_p = 128;
+  spec.default_reps = 3;
+  spec.sections = {
+      {"range_bcast", "payload sweep at 1 and 50 amortizing broadcasts",
+       RunRangeBcast}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

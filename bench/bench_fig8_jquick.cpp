@@ -1,25 +1,20 @@
 // Figure 8: Janus Quicksort with RBC communicators vs native MPI
 // communicators, sweeping n/p on a fixed process count (uniform doubles).
 // Both use the alternating split schedule, as in the paper; a cascaded
-// native-MPI row is added because Section VIII-C reports that cascades
-// slow the native version by further orders of magnitude while leaving
-// RBC unchanged.
+// native-MPI backend is added because Section VIII-C reports that
+// cascades slow the native version by further orders of magnitude while
+// leaving RBC unchanged, and a mpi_slow backend runs the alternating
+// schedule on the slow-create_group vendor profile (the paper's "IBM MPI"
+// column). Every row carries vtime_ratio_vs_rbc (1.0 on rbc rows).
 //
 // Paper shape: for n/p = 1 RBC wins 3.5..17x; for moderate inputs
 // (n/p <= 2^10) the gap peaks (factor >1000 vs IBM MPI); for large inputs
 // the curves converge as data movement dominates communicator creation.
-//
-// stdout carries machine-readable JSON in the BENCH_alltoall.json schema
-// (one measurement object per backend and n/p):
-//   ./bench_fig8_jquick > BENCH_fig8.json
-// The human-readable shape table goes to stderr. `--smoke` shrinks the
-// sweep (8 ranks, tiny quotas) so CI can keep the code path green.
-#include <cstdio>
-#include <cstring>
-#include <string>
+#include <algorithm>
+#include <memory>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "sort/jquick.hpp"
 #include "sort/workload.hpp"
 
@@ -27,20 +22,12 @@ namespace {
 
 enum class Backend { kRbc, kMpi };
 
-benchutil::JsonRows rows;
-
-void EmitRow(const char* backend, int p, long long count,
-             double vtime, double wall_ms) {
-  rows.Row("fig8_jquick", backend, p, count,
-           benchutil::Measurement{wall_ms, vtime});
-}
-
-double MeasureSort(mpisim::Comm& world, Backend backend, int quota,
-                   jsort::SplitSchedule schedule, int reps,
-                   double* wall_ms) {
+benchutil::Measurement MeasureSort(mpisim::Comm& world, Backend backend,
+                                   int quota, jsort::SplitSchedule schedule,
+                                   int reps) {
   jsort::JQuickConfig cfg;
   cfg.schedule = schedule;
-  benchutil::Measurement m = benchutil::MeasureOnRanks(world, reps, [&] {
+  return benchutil::MeasureOnRanks(world, reps, [&] {
     auto input = jsort::GenerateInput(jsort::InputKind::kUniform,
                                       world.Rank(), world.Size(), quota, 7);
     std::shared_ptr<jsort::Transport> tr;
@@ -53,49 +40,32 @@ double MeasureSort(mpisim::Comm& world, Backend backend, int quota,
     }
     jsort::JQuickSort(tr, std::move(input), cfg);
   });
-  if (wall_ms != nullptr) *wall_ms = m.wall_ms;
-  return m.vtime;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  const int ranks = smoke ? 8 : 64;
-  const int reps = smoke ? 1 : 3;
-  const int max_log = smoke ? 4 : 14;
-
-  std::fprintf(stderr,
-               "# Figure 8: JQuick on p=%d ranks, uniform doubles, median "
-               "of %d\n# MPIslow = native transport on the "
-               "slow-create_group vendor profile (the 'IBM MPI' column)\n",
-               ranks, reps);
-  std::vector<double> rbc_vts, alt_vts, casc_vts, slow_vts;
-  std::vector<double> rbc_walls, alt_walls, casc_walls, slow_walls;
+void RunJQuick(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 8 : 64;
+  const int reps = ctx.reps(3);
+  const int max_log = ctx.smoke() ? 4 : 14;
+  const int points = max_log / 2 + 1;
+  std::vector<benchutil::Measurement> rbc_ms(points), alt_ms(points),
+      casc_ms(points), slow_ms(points);
   {
     mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
     rt.Run([&](mpisim::Comm& world) {
       for (int lg = 0; lg <= max_log; lg += 2) {
         const int quota = 1 << lg;
-        double wall = 0.0;
-        const double rbc_vt = MeasureSort(
-            world, Backend::kRbc, quota, jsort::SplitSchedule::kAlternating,
-            reps, &wall);
-        double alt_wall = 0.0;
-        const double mpi_alt = MeasureSort(
-            world, Backend::kMpi, quota, jsort::SplitSchedule::kAlternating,
-            reps, &alt_wall);
-        double casc_wall = 0.0;
-        const double mpi_casc = MeasureSort(
-            world, Backend::kMpi, quota, jsort::SplitSchedule::kCascaded,
-            reps, &casc_wall);
+        const auto rbcm = MeasureSort(world, Backend::kRbc, quota,
+                                      jsort::SplitSchedule::kAlternating,
+                                      reps);
+        const auto alt = MeasureSort(world, Backend::kMpi, quota,
+                                     jsort::SplitSchedule::kAlternating,
+                                     reps);
+        const auto casc = MeasureSort(world, Backend::kMpi, quota,
+                                      jsort::SplitSchedule::kCascaded, reps);
         if (world.Rank() == 0) {
-          rbc_vts.push_back(rbc_vt);
-          rbc_walls.push_back(wall);
-          alt_vts.push_back(mpi_alt);
-          alt_walls.push_back(alt_wall);
-          casc_vts.push_back(mpi_casc);
-          casc_walls.push_back(casc_wall);
+          rbc_ms[static_cast<std::size_t>(lg / 2)] = rbcm;
+          alt_ms[static_cast<std::size_t>(lg / 2)] = alt;
+          casc_ms[static_cast<std::size_t>(lg / 2)] = casc;
         }
       }
     });
@@ -107,45 +77,42 @@ int main(int argc, char** argv) {
     rt.Run([&](mpisim::Comm& world) {
       for (int lg = 0; lg <= max_log; lg += 2) {
         const int quota = 1 << lg;
-        double wall = 0.0;
-        const double v = MeasureSort(
-            world, Backend::kMpi, quota, jsort::SplitSchedule::kAlternating,
-            reps, &wall);
+        const auto slow = MeasureSort(world, Backend::kMpi, quota,
+                                      jsort::SplitSchedule::kAlternating,
+                                      reps);
         if (world.Rank() == 0) {
-          slow_vts.push_back(v);
-          slow_walls.push_back(wall);
+          slow_ms[static_cast<std::size_t>(lg / 2)] = slow;
         }
       }
     });
   }
-
-  std::size_t row = 0;
-  for (int lg = 0; lg <= max_log; lg += 2, ++row) {
+  for (int lg = 0; lg <= max_log; lg += 2) {
+    const std::size_t i = static_cast<std::size_t>(lg / 2);
     const long long quota = 1 << lg;
-    EmitRow("rbc", ranks, quota, rbc_vts[row], rbc_walls[row]);
-    EmitRow("mpi_alt", ranks, quota, alt_vts[row], alt_walls[row]);
-    EmitRow("mpi_casc", ranks, quota, casc_vts[row], casc_walls[row]);
-    EmitRow("mpi_slow", ranks, quota, slow_vts[row], slow_walls[row]);
+    const double denom = std::max(rbc_ms[i].vtime, 1e-9);
+    ctx.Row("fig8_jquick", "rbc", ranks, quota, rbc_ms[i],
+            {{"vtime_ratio_vs_rbc", 1.0}});
+    ctx.Row("fig8_jquick", "mpi_alt", ranks, quota, alt_ms[i],
+            {{"vtime_ratio_vs_rbc", alt_ms[i].vtime / denom}});
+    ctx.Row("fig8_jquick", "mpi_casc", ranks, quota, casc_ms[i],
+            {{"vtime_ratio_vs_rbc", casc_ms[i].vtime / denom}});
+    ctx.Row("fig8_jquick", "mpi_slow", ranks, quota, slow_ms[i],
+            {{"vtime_ratio_vs_rbc", slow_ms[i].vtime / denom}});
   }
-  rows.Close();
+}
 
-  row = 0;
-  std::fprintf(stderr, "%16s%16s%16s%16s%16s%16s%16s\n", "n/p", "RBC.vt",
-               "MPI.alt.vt", "MPI.casc.vt", "MPIslow.vt", "MPIalt/RBC",
-               "MPIslow/RBC");
-  for (int lg = 0; lg <= max_log; lg += 2, ++row) {
-    std::fprintf(stderr,
-                 "%16.4f%16.4f%16.4f%16.4f%16.4f%16.4f%16.4f\n",
-                 static_cast<double>(1 << lg), rbc_vts[row], alt_vts[row],
-                 casc_vts[row], slow_vts[row],
-                 alt_vts[row] / std::max(rbc_vts[row], 1e-9),
-                 slow_vts[row] / std::max(rbc_vts[row], 1e-9));
-  }
-  std::fprintf(
-      stderr,
-      "\n# Shape check: every MPI/RBC ratio is largest for small n/p "
-      "(communicator creation\n# dominates) and decays toward 1 for large "
-      "n/p; MPI.casc >= MPI.alt; the slow vendor\n# profile multiplies the "
-      "gap by another order of magnitude, as with IBM MPI in the paper.\n");
-  return 0;
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_fig8_jquick";
+  spec.figure = "Figure 8";
+  spec.description =
+      "JQuick with RBC vs native MPI communicators (alternating/cascaded "
+      "schedules, fast/slow vendor profiles) over the n/p sweep";
+  spec.default_p = 64;
+  spec.default_reps = 3;
+  spec.sections = {{"jquick", "n/p sweep over the four backends",
+                    RunJQuick}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

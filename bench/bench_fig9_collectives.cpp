@@ -3,70 +3,52 @@
 // ranks, sweeping n/p. The paper shows RBC performing similarly to the
 // vendor MPIs for every operation (its point: range-based communicators
 // add no hidden collective overhead); gather is swept to a smaller bound
-// because the root's receive buffer is p * n/p.
-//
-// Output is the shared machine-readable BENCH_*.json schema (one
-// top-level array of measurement objects; bench = fig9_<op>, backend =
-// mpi|rbc, count = n/p):
-//   ./bench_fig9_collectives > BENCH_fig9.json
-// `--smoke` shrinks ranks/reps/sweep for CI. The shape check is that for
-// every operation the mpi and rbc rows stay near each other across the
-// sweep -- the paper's conclusion that RBC collectives cost the same as
-// native ones.
-#include <cstdio>
-#include <cstring>
+// because the root's receive buffer is p * n/p. The shape check is that
+// for every operation the mpi and rbc rows stay near each other across
+// the sweep.
 #include <functional>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "rbc/rbc.hpp"
 
 namespace {
-
-int g_ranks = 64;
-int g_reps = 5;
-
-benchutil::JsonRows rows;
 
 using OpRunner = std::function<void(mpisim::Comm&, rbc::Comm&, bool use_rbc,
                                     int n, std::vector<double>& a,
                                     std::vector<double>& b)>;
 
-void Sweep(const char* bench, int max_log, mpisim::Comm& world,
-           rbc::Comm& rw, const OpRunner& run) {
+void Sweep(benchutil::BenchContext& ctx, const char* bench, int ranks,
+           int reps, int max_log, mpisim::Comm& world, rbc::Comm& rw,
+           const OpRunner& run) {
   for (int lg = 0; lg <= max_log; lg += 2) {
     const int n = 1 << lg;
     std::vector<double> a(static_cast<std::size_t>(n), 1.0);
     std::vector<double> b(static_cast<std::size_t>(n) *
-                              static_cast<std::size_t>(g_ranks),
+                              static_cast<std::size_t>(ranks),
                           0.0);
     const auto mpi = benchutil::MeasureOnRanks(
-        world, g_reps, [&] { run(world, rw, false, n, a, b); });
+        world, reps, [&] { run(world, rw, false, n, a, b); });
     const auto rbcm = benchutil::MeasureOnRanks(
-        world, g_reps, [&] { run(world, rw, true, n, a, b); });
+        world, reps, [&] { run(world, rw, true, n, a, b); });
     if (world.Rank() == 0) {
-      rows.Row(bench, "mpi", g_ranks, n, mpi);
-      rows.Row(bench, "rbc", g_ranks, n, rbcm);
+      ctx.Row(bench, "mpi", ranks, n, mpi);
+      ctx.Row(bench, "rbc", ranks, n, rbcm);
     }
   }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  if (smoke) {
-    g_ranks = 16;
-    g_reps = 1;
-  }
-  const int max_log = smoke ? 6 : 14;
-  const int gather_log = smoke ? 4 : 10;
-  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = g_ranks});
+void RunCollectives(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int reps = ctx.reps(5);
+  const int max_log = ctx.smoke() ? 6 : 14;
+  const int gather_log = ctx.smoke() ? 4 : 10;
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
   rt.Run([&](mpisim::Comm& world) {
     rbc::Comm rw;
     rbc::Create_RBC_Comm(world, &rw);
 
-    Sweep("fig9_bcast", max_log, world, rw,
+    Sweep(ctx, "fig9_bcast", ranks, reps, max_log, world, rw,
           [](mpisim::Comm& w, rbc::Comm& r, bool use_rbc, int n,
              std::vector<double>& a, std::vector<double>&) {
             if (use_rbc) {
@@ -80,7 +62,7 @@ int main(int argc, char** argv) {
             }
           });
 
-    Sweep("fig9_reduce", max_log, world, rw,
+    Sweep(ctx, "fig9_reduce", ranks, reps, max_log, world, rw,
           [](mpisim::Comm& w, rbc::Comm& r, bool use_rbc, int n,
              std::vector<double>& a, std::vector<double>& b) {
             if (use_rbc) {
@@ -97,7 +79,7 @@ int main(int argc, char** argv) {
             }
           });
 
-    Sweep("fig9_scan", max_log, world, rw,
+    Sweep(ctx, "fig9_scan", ranks, reps, max_log, world, rw,
           [](mpisim::Comm& w, rbc::Comm& r, bool use_rbc, int n,
              std::vector<double>& a, std::vector<double>& b) {
             if (use_rbc) {
@@ -113,7 +95,7 @@ int main(int argc, char** argv) {
             }
           });
 
-    Sweep("fig9_gather", gather_log, world, rw,
+    Sweep(ctx, "fig9_gather", ranks, reps, gather_log, world, rw,
           [](mpisim::Comm& w, rbc::Comm& r, bool use_rbc, int n,
              std::vector<double>& a, std::vector<double>& b) {
             if (use_rbc) {
@@ -128,6 +110,20 @@ int main(int argc, char** argv) {
             }
           });
   });
-  rows.Close();
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_fig9_collectives";
+  spec.figure = "Figure 9";
+  spec.description =
+      "nonblocking bcast/reduce/scan/gather, RBC vs native MPI over the "
+      "n/p sweep";
+  spec.default_p = 64;
+  spec.default_reps = 5;
+  spec.sections = {
+      {"collectives", "the four operation sweeps", RunCollectives}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

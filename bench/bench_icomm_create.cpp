@@ -1,32 +1,26 @@
 // Section VI ablation: the proposed MPI_Icomm_create_group against the
 // blocking MPI_Comm_create_group and RBC's Split_RBC_Comm.
 //
-//  * contiguous range + tuple-carrying parent -> purely local, O(1)
-//    (matches RBC's cost while keeping full MPI context isolation);
-//  * non-contiguous group -> one nonblocking broadcast, O(alpha log g);
-//  * blocking create_group -> mask agreement + O(g) construction.
-#include <cstdio>
-#include <numeric>
+//  * icomm_range:   contiguous range + tuple-carrying parent -> purely
+//                   local, O(1) (matches RBC's cost while keeping full MPI
+//                   context isolation); vtime must stay 0;
+//  * icomm_general: non-contiguous group -> one nonblocking broadcast,
+//                   O(alpha log g);
+//  * create_group:  blocking mask agreement + O(g) construction.
+#include <array>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "rbc/rbc.hpp"
 
 namespace {
 
-constexpr int kReps = 5;
-
-}  // namespace
-
-int main() {
-  std::printf(
-      "# Section VI: nonblocking communicator creation (median of %d)\n",
-      kReps);
-  benchutil::PrintRowHeader({"p", "RBC.vt", "Icomm.range.vt",
-                             "Icomm.general.vt", "CreateGroup.vt"});
-  for (int p = 8; p <= 256; p *= 2) {
+void RunCreate(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  const int max_p = ctx.smoke() ? 16 : 256;
+  for (int p = 8; p <= max_p; p *= 2) {
     mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
-    rt.Run([p](mpisim::Comm& world) {
+    rt.Run([&, p](mpisim::Comm& world) {
       rbc::Comm rw;
       rbc::Create_RBC_Comm(world, &rw);
       const int half = p / 2;
@@ -35,12 +29,12 @@ int main() {
           low ? mpisim::RankRange{0, half - 1, 1}
               : mpisim::RankRange{half, p - 1, 1};
 
-      const auto rbc_m = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto rbc_m = benchutil::MeasureOnRanks(world, reps, [&] {
         rbc::Comm sub;
         rbc::Split_RBC_Comm(rw, low ? 0 : half, low ? half - 1 : p - 1, &sub);
       });
 
-      const auto icomm_range = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto icomm_range = benchutil::MeasureOnRanks(world, reps, [&] {
         const std::array<mpisim::RankRange, 1> rr{half_range};
         mpisim::Comm sub;
         mpisim::Request req = mpisim::IcommCreateGroup(
@@ -51,7 +45,7 @@ int main() {
       // Non-contiguous: my parity class -- forces the broadcast path.
       std::vector<int> members;
       for (int r = world.Rank() % 2; r < p; r += 2) members.push_back(r);
-      const auto icomm_general = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto icomm_general = benchutil::MeasureOnRanks(world, reps, [&] {
         mpisim::Comm sub;
         mpisim::Request req = mpisim::IcommCreateGroup(
             world, mpisim::GroupIncl(world, members),
@@ -59,25 +53,35 @@ int main() {
         mpisim::Wait(req);
       });
 
-      const auto blocking = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto blocking = benchutil::MeasureOnRanks(world, reps, [&] {
         const std::array<mpisim::RankRange, 1> rr{half_range};
         mpisim::Comm sub = mpisim::CommCreateGroup(
             world, mpisim::GroupRangeIncl(world, rr), /*tag=*/5);
       });
 
       if (world.Rank() == 0) {
-        benchutil::PrintCell(static_cast<double>(p));
-        benchutil::PrintCell(rbc_m.vtime);
-        benchutil::PrintCell(icomm_range.vtime);
-        benchutil::PrintCell(icomm_general.vtime);
-        benchutil::PrintCell(blocking.vtime);
-        benchutil::EndRow();
+        ctx.Row("icomm_create", "rbc", p, half, rbc_m);
+        ctx.Row("icomm_create", "icomm_range", p, half, icomm_range);
+        ctx.Row("icomm_create", "icomm_general", p, half, icomm_general);
+        ctx.Row("icomm_create", "create_group", p, half, blocking);
       }
     });
   }
-  std::printf(
-      "\n# Shape check: RBC and Icomm.range stay at 0 for every p; "
-      "Icomm.general grows\n# logarithmically (one tuple broadcast); "
-      "CreateGroup grows linearly in p.\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_icomm_create";
+  spec.figure = "Section VI";
+  spec.description =
+      "nonblocking communicator creation: Icomm_create_group (range and "
+      "general groups) vs blocking create_group vs RBC split";
+  spec.default_p = 256;
+  spec.default_reps = 5;
+  spec.sections = {
+      {"create", "half-range and parity-class creation sweep over p",
+       RunCreate}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

@@ -1,13 +1,21 @@
-// google-benchmark microbenchmarks of the local (single-rank) kernels the
-// sorter is built from: partition, quickselect, greedy assignment, local
-// sort, input generation. These bound the non-communication terms of
+// Microbenchmarks of the local (single-rank) kernels the sorter is built
+// from: partition, k-way partition (branchless splitter tree vs the
+// seed's upper_bound baseline), quickselect, local sort, greedy
+// assignment, sampling. These bound the non-communication terms of
 // Theorem 1 (O(n/p) partition work, O(n/p log(n/p)) base-case sort).
-#include <benchmark/benchmark.h>
-
+//
+// No simulated runtime is involved: p = 1, vtime = 0, and the primary
+// metric is `mitems_per_sec` (million items per second, items = processed
+// elements; for assign_chunks, spanned ranks). Timing is a median over
+// reps of batched wall-clock iterations, sized so one measurement does a
+// few million items of work.
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <random>
 #include <vector>
 
+#include "harness.hpp"
 #include "sort/assignment.hpp"
 #include "sort/partition.hpp"
 #include "sort/quickselect.hpp"
@@ -20,26 +28,52 @@ std::vector<double> MakeInput(std::int64_t n) {
   return jsort::GenerateInput(jsort::InputKind::kUniform, 0, 1, n, 99);
 }
 
-void BM_Partition(benchmark::State& state) {
-  const auto data = MakeInput(state.range(0));
-  const double pivot = 0.5;
-  for (auto _ : state) {
-    auto r = jsort::Partition(data, pivot, false);
-    benchmark::DoNotOptimize(r.small.data());
+/// Times `op` (which processes `items` items per call) with enough batched
+/// iterations for a stable reading, `reps` times; reports the median
+/// per-call wall time and throughput.
+template <typename Op>
+void Report(benchutil::BenchContext& ctx, const char* bench,
+            const char* backend, long long count, std::int64_t items,
+            int reps, Op&& op) {
+  const std::int64_t target_items = ctx.smoke() ? (1 << 18) : (1 << 22);
+  const int inner = static_cast<int>(
+      std::max<std::int64_t>(1, target_items / std::max<std::int64_t>(
+                                                   1, items)));
+  std::vector<double> per_call_ms;
+  op();  // warm-up (first-touch, allocator)
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < inner; ++i) op();
+    const auto t1 = std::chrono::steady_clock::now();
+    per_call_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count() / inner);
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
+  std::sort(per_call_ms.begin(), per_call_ms.end());
+  const double ms = per_call_ms[per_call_ms.size() / 2];
+  const double mitems =
+      static_cast<double>(items) / std::max(ms, 1e-9) / 1e3;  // per second
+  ctx.Row(bench, backend, 1, count,
+          benchutil::Measurement{ms, 0.0},
+          {{"mitems_per_sec", mitems}});
 }
-BENCHMARK(BM_Partition)->Range(1 << 8, 1 << 18);
 
-void BM_PartitionInPlace(benchmark::State& state) {
-  const auto data = MakeInput(state.range(0));
-  for (auto _ : state) {
-    auto copy = data;
-    benchmark::DoNotOptimize(jsort::PartitionInPlace(copy, 0.5, true));
+void RunPartition(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  const int max_log = ctx.smoke() ? 12 : 18;
+  for (int lg = 8; lg <= max_log; lg += 2) {
+    const std::int64_t n = std::int64_t{1} << lg;
+    const auto data = MakeInput(n);
+    Report(ctx, "kernel_partition", "two_way", n, n, reps, [&] {
+      auto r = jsort::Partition(data, 0.5, false);
+      benchutil::DoNotOptimize(&r);
+    });
+    Report(ctx, "kernel_partition", "in_place", n, n, reps, [&] {
+      auto copy = data;
+      auto r = jsort::PartitionInPlace(copy, 0.5, true);
+      benchutil::DoNotOptimize(&r);
+    });
   }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_PartitionInPlace)->Range(1 << 8, 1 << 18);
 
 /// Equidistant splitters over the uniform [0,1) input.
 std::vector<double> MakeSplitters(int k) {
@@ -50,90 +84,99 @@ std::vector<double> MakeSplitters(int k) {
   return s;
 }
 
-void BM_PartitionKWay(benchmark::State& state) {
-  const auto data = MakeInput(1 << 16);
-  const auto splitters = MakeSplitters(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto r = jsort::PartitionKWay(data, splitters);
-    benchmark::DoNotOptimize(r.elements.data());
+void RunPartitionKWay(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  const std::int64_t n = ctx.smoke() ? (1 << 12) : (1 << 16);
+  const auto data = MakeInput(n);
+  const int max_k = ctx.smoke() ? 64 : 1024;
+  for (int k = 4; k <= max_k; k *= 4) {
+    const auto splitters = MakeSplitters(k);
+    Report(ctx, "kernel_partition_kway", "splitter_tree", k, n, reps, [&] {
+      auto r = jsort::PartitionKWay(data, splitters);
+      benchutil::DoNotOptimize(&r);
+    });
+    // The seed's classification loop (per-element upper_bound +
+    // per-bucket push_back): the baseline the branchless tree replaces.
+    Report(ctx, "kernel_partition_kway", "upper_bound", k, n, reps, [&] {
+      std::vector<std::vector<double>> buckets(splitters.size() + 1);
+      for (double x : data) {
+        const auto it =
+            std::upper_bound(splitters.begin(), splitters.end(), x);
+        buckets[static_cast<std::size_t>(it - splitters.begin())]
+            .push_back(x);
+      }
+      benchutil::DoNotOptimize(&buckets);
+    });
   }
-  state.SetItemsProcessed(state.iterations() * (1 << 16));
 }
-BENCHMARK(BM_PartitionKWay)->RangeMultiplier(4)->Range(4, 1024);
 
-/// The seed's classification loop (per-element upper_bound + per-bucket
-/// push_back), kept as the baseline the branchless splitter tree replaces.
-void BM_PartitionKWayUpperBound(benchmark::State& state) {
-  const auto data = MakeInput(1 << 16);
-  const auto splitters = MakeSplitters(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    std::vector<std::vector<double>> buckets(splitters.size() + 1);
-    for (double x : data) {
-      const auto it =
-          std::upper_bound(splitters.begin(), splitters.end(), x);
-      buckets[static_cast<std::size_t>(it - splitters.begin())].push_back(x);
-    }
-    benchmark::DoNotOptimize(buckets.data());
+void RunSelectAndSort(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  const int max_log = ctx.smoke() ? 12 : 18;
+  for (int lg = 8; lg <= max_log; lg += 2) {
+    const std::int64_t n = std::int64_t{1} << lg;
+    const auto data = MakeInput(n);
+    Report(ctx, "kernel_quickselect", "local", n, n, reps, [&] {
+      auto copy = data;
+      jsort::QuickselectSmallest(copy, copy.size() / 2);
+      benchutil::DoNotOptimize(copy.data());
+    });
+    Report(ctx, "kernel_local_sort", "local", n, n, reps, [&] {
+      auto copy = data;
+      std::sort(copy.begin(), copy.end());
+      benchutil::DoNotOptimize(copy.data());
+    });
   }
-  state.SetItemsProcessed(state.iterations() * (1 << 16));
 }
-BENCHMARK(BM_PartitionKWayUpperBound)->RangeMultiplier(4)->Range(4, 1024);
 
-void BM_Quickselect(benchmark::State& state) {
-  const auto data = MakeInput(state.range(0));
-  for (auto _ : state) {
-    auto copy = data;
-    jsort::QuickselectSmallest(copy, copy.size() / 2);
-    benchmark::DoNotOptimize(copy.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_Quickselect)->Range(1 << 8, 1 << 18);
-
-void BM_LocalSort(benchmark::State& state) {
-  const auto data = MakeInput(state.range(0));
-  for (auto _ : state) {
-    auto copy = data;
-    std::sort(copy.begin(), copy.end());
-    benchmark::DoNotOptimize(copy.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_LocalSort)->Range(1 << 8, 1 << 18);
-
-void BM_AssignChunks(benchmark::State& state) {
-  const int p = static_cast<int>(state.range(0));
-  const jsort::CapacityLayout layout{
-      .p = p, .quota = 1000, .cap_first = 500, .cap_last = 700};
-  for (auto _ : state) {
+void RunAssignAndSample(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(5);
+  const int max_p = ctx.smoke() ? 64 : 4096;
+  for (int p = 4; p <= max_p; p *= 4) {
+    const jsort::CapacityLayout layout{
+        .p = p, .quota = 1000, .cap_first = 500, .cap_last = 700};
     // A sender interval spanning most of the machine (worst case).
-    auto chunks = jsort::AssignChunks(layout, 250, layout.Total() - 333);
-    benchmark::DoNotOptimize(chunks.data());
+    Report(ctx, "kernel_assign_chunks", "greedy", p, p, reps, [&] {
+      auto chunks = jsort::AssignChunks(layout, 250, layout.Total() - 333);
+      benchutil::DoNotOptimize(chunks.data());
+    });
   }
-}
-BENCHMARK(BM_AssignChunks)->Range(4, 4096);
-
-void BM_ReservoirCandidate(benchmark::State& state) {
-  const auto data = MakeInput(state.range(0));
+  const std::int64_t n = ctx.smoke() ? (1 << 12) : (1 << 16);
+  const auto data = MakeInput(n);
   std::mt19937_64 rng(5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(jsort::ReservoirCandidate(data, rng));
-  }
+  Report(ctx, "kernel_sampling", "reservoir", n, n, reps, [&] {
+    auto c = jsort::ReservoirCandidate(data, rng);
+    benchutil::DoNotOptimize(&c);
+  });
+  const int samples = ctx.smoke() ? 64 : 1024;
+  std::vector<double> sample_buf(static_cast<std::size_t>(samples));
+  Report(ctx, "kernel_sampling", "median_of_samples", samples, samples, reps,
+         [&] {
+           jsort::DrawSamples(data, samples, sample_buf.data(), rng);
+           auto med = jsort::MedianOf(sample_buf);
+           benchutil::DoNotOptimize(&med);
+         });
 }
-BENCHMARK(BM_ReservoirCandidate)->Range(1 << 8, 1 << 16);
-
-void BM_MedianOfSamples(benchmark::State& state) {
-  const auto data = MakeInput(1 << 16);
-  std::mt19937_64 rng(6);
-  std::vector<double> samples(static_cast<std::size_t>(state.range(0)));
-  for (auto _ : state) {
-    jsort::DrawSamples(data, static_cast<int>(samples.size()),
-                       samples.data(), rng);
-    benchmark::DoNotOptimize(jsort::MedianOf(samples));
-  }
-}
-BENCHMARK(BM_MedianOfSamples)->Range(16, 4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_local_kernels";
+  spec.figure = "Theorem 1 (local terms)";
+  spec.description =
+      "single-rank kernel throughput: partition, k-way partition vs "
+      "upper_bound baseline, quickselect, sort, assignment, sampling";
+  spec.default_p = 1;
+  spec.default_reps = 5;
+  spec.sections = {
+      {"partition", "two-way partition kernels over the size sweep",
+       RunPartition},
+      {"partition_kway", "branchless splitter tree vs upper_bound baseline",
+       RunPartitionKWay},
+      {"select_sort", "quickselect and std::sort baselines",
+       RunSelectAndSort},
+      {"assign_sample", "greedy assignment and sampling kernels",
+       RunAssignAndSample}};
+  return benchutil::BenchMain(argc, argv, spec);
+}

@@ -3,33 +3,20 @@
 // (from MultilevelStats) -- the startup-cost story of the AMS-style
 // group-wise exchange. The seed implementation paid one startup per piece
 // per level (k * levels per rank, empty and self pieces included); the
-// exchange-layer routing must stay strictly below that.
-//
-// stdout carries machine-readable JSON in the BENCH_alltoall.json schema
-// (extra keys: "messages" = max per-rank payload messages, "levels"):
-//   ./bench_multilevel > BENCH_multilevel.json
-// `--smoke` shrinks the sweep so CI can keep the code path green.
-#include <cstring>
-#include <string>
+// exchange-layer routing must stay strictly below that (the manifest
+// assertion `messages < k * levels` CI gates on the sparse rows). Extra
+// row fields: `messages` = max per-rank payload messages, `levels`, `k`.
+#include <cstdint>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "sort/multilevel_sort.hpp"
 #include "sort/workload.hpp"
 
 namespace {
 
-benchutil::JsonRows rows;
-
-void EmitRow(const char* backend, int p, long long count,
-             const benchutil::Measurement& m, long long messages,
-             int levels) {
-  rows.Row("multilevel_sort", backend, p, count, m,
-           "\"messages\": " + std::to_string(messages) +
-               ", \"levels\": " + std::to_string(levels));
-}
-
-void Sweep(int p, int quota, int k, int reps) {
+void SweepAt(benchutil::BenchContext& ctx, int p, int quota, int k,
+             int reps) {
   mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
   rt.Run([&](mpisim::Comm& world) {
     for (auto mode : {jsort::exchange::Mode::kAlltoallv,
@@ -56,25 +43,38 @@ void Sweep(int p, int quota, int k, int reps) {
                         mpisim::Datatype::kFloat64, mpisim::ReduceOp::kMax,
                         world);
       if (world.Rank() == 0) {
-        EmitRow(benchutil::ModeName(mode), p, quota, m,
-                static_cast<long long>(max_msgs), levels);
+        ctx.Row("multilevel_sort", benchutil::ModeName(mode), p, quota, m,
+                {{"messages", static_cast<std::int64_t>(max_msgs)},
+                 {"levels", levels},
+                 {"k", k}});
       }
     }
   });
 }
 
+void RunMultilevel(benchutil::BenchContext& ctx) {
+  const int reps = ctx.reps(3);
+  if (ctx.smoke()) {
+    SweepAt(ctx, 8, 32, 4, reps);
+  } else {
+    for (int p : {8, 16, 32}) {
+      for (int quota : {64, 1024}) SweepAt(ctx, p, quota, 4, reps);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
-  const int reps = smoke ? 1 : 3;
-  if (smoke) {
-    Sweep(8, 32, 4, reps);
-  } else {
-    for (int p : {8, 16, 32}) {
-      for (int quota : {64, 1024}) Sweep(p, quota, 4, reps);
-    }
-  }
-  rows.Close();
-  return 0;
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_multilevel";
+  spec.figure = "Section IV (AMS-style multilevel exchange)";
+  spec.description =
+      "multilevel sample sort per delivery mode with per-rank payload "
+      "message counts";
+  spec.default_p = 32;
+  spec.default_reps = 3;
+  spec.sections = {
+      {"multilevel", "mode sweep over p and n/p", RunMultilevel}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

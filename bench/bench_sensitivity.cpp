@@ -1,27 +1,36 @@
-// Sensitivity analysis: how robust are the reproduction's conclusions to
-// the alpha-beta cost-model parameters? Sweeps the latency/bandwidth
-// ratio alpha/beta over three orders of magnitude and reports the JQuick
-// RBC-vs-native advantage at moderate n/p. The paper's conclusion (RBC
-// wins wherever communicator creation is not amortized by data volume)
-// should hold for every realistic machine balance.
-#include <cstdio>
+// Sensitivity analyses on the virtual cost model.
+//
+// Section "balance": how robust are the reproduction's conclusions to the
+// alpha-beta cost-model parameters? Sweeps the latency/bandwidth ratio
+// alpha/beta over three orders of magnitude and reports the JQuick
+// RBC-vs-native advantage at moderate n/p (`vtime_ratio` = MPI/RBC on
+// both rows of a pair, plus the swept `alpha`/`beta`). The paper's
+// conclusion (RBC wins wherever communicator creation is not amortized by
+// data volume) should hold for every realistic machine balance.
+//
+// Section "segment_crossover": the sweep behind the sorters' default
+// segment_bytes (jsort::exchange::kDefaultSegmentBytes). Sorts a
+// large-n/p input with the per-level exchange segment limit swept over
+// {0 = unsegmented, 4 KiB .. 1 MiB}; on the single-ported alpha-beta
+// model, segmentation pays one extra alpha per chunk on direct messages
+// but pipelines across the store-and-forward rounds of the dense
+// rbc::Alltoallv, so the sample-sort rows expose a crossover while the
+// jquick rows bound the cost a limit inflicts on direct exchanges.
+#include <algorithm>
+#include <memory>
 #include <vector>
 
-#include "benchutil.hpp"
-#include "sort/jquick.hpp"
+#include "harness.hpp"
+#include "sort/jsort.hpp"
 #include "sort/workload.hpp"
 
 namespace {
 
-constexpr int kRanks = 64;
-constexpr int kReps = 3;
-constexpr int kQuota = 64;
-
-double Measure(mpisim::Comm& world, bool use_rbc) {
-  const auto m = benchutil::MeasureOnRanks(world, kReps, [&] {
+double MeasureJQuick(mpisim::Comm& world, bool use_rbc, int quota, int reps,
+                     double* wall_ms) {
+  const auto m = benchutil::MeasureOnRanks(world, reps, [&] {
     auto input = jsort::GenerateInput(jsort::InputKind::kUniform,
-                                      world.Rank(), world.Size(), kQuota,
-                                      17);
+                                      world.Rank(), world.Size(), quota, 17);
     std::shared_ptr<jsort::Transport> tr;
     if (use_rbc) {
       rbc::Comm rw;
@@ -32,50 +41,103 @@ double Measure(mpisim::Comm& world, bool use_rbc) {
     }
     jsort::JQuickSort(tr, std::move(input));
   });
+  if (wall_ms != nullptr) *wall_ms = m.wall_ms;
   return m.vtime;
+}
+
+void RunBalance(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int quota = 64;
+  const int reps = ctx.reps(3);
+  const std::vector<double> alphas =
+      ctx.smoke() ? std::vector<double>{1.0, 100.0}
+                  : std::vector<double>{1.0, 10.0, 100.0};
+  const std::vector<double> betas =
+      ctx.smoke() ? std::vector<double>{0.002, 0.2}
+                  : std::vector<double>{0.002, 0.02, 0.2};
+  for (double alpha : alphas) {
+    for (double beta : betas) {
+      mpisim::Runtime::Options opts;
+      opts.num_ranks = ranks;
+      opts.cost.alpha = alpha;
+      opts.cost.beta = beta;
+      mpisim::Runtime rt(opts);
+      double rbc_vt = 0.0, mpi_vt = 0.0, rbc_wall = 0.0, mpi_wall = 0.0;
+      rt.Run([&](mpisim::Comm& world) {
+        double wa = 0.0, wb = 0.0;
+        const double a = MeasureJQuick(world, true, quota, reps, &wa);
+        const double b = MeasureJQuick(world, false, quota, reps, &wb);
+        if (world.Rank() == 0) {
+          rbc_vt = a;
+          mpi_vt = b;
+          rbc_wall = wa;
+          mpi_wall = wb;
+        }
+      });
+      const double ratio = mpi_vt / std::max(rbc_vt, 1e-9);
+      ctx.Row("sensitivity_balance", "rbc", ranks, quota,
+              benchutil::Measurement{rbc_wall, rbc_vt},
+              {{"alpha", alpha}, {"beta", beta}, {"vtime_ratio", ratio}});
+      ctx.Row("sensitivity_balance", "mpi", ranks, quota,
+              benchutil::Measurement{mpi_wall, mpi_vt},
+              {{"alpha", alpha}, {"beta", beta}, {"vtime_ratio", ratio}});
+    }
+  }
+}
+
+void RunSegmentCrossover(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 8 : 16;
+  const int quota = ctx.smoke() ? (1 << 12) : (1 << 15);
+  const int reps = ctx.reps(3);
+  const std::vector<std::int64_t> limits = {
+      0, 4096, 16384, 65536, 262144, 1048576};
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  rt.Run([&](mpisim::Comm& world) {
+    rbc::Comm rw;
+    rbc::Create_RBC_Comm(world, &rw);
+    for (const std::int64_t seg : limits) {
+      const auto ss = benchutil::MeasureOnRanks(world, reps, [&] {
+        auto input = jsort::GenerateInput(jsort::InputKind::kUniform,
+                                          world.Rank(), ranks, quota, 17);
+        auto tr = jsort::MakeRbcTransport(rw);
+        jsort::SampleSortConfig cfg;
+        cfg.segment_bytes = seg;
+        jsort::SampleSort(tr, std::move(input), cfg);
+      });
+      const auto jq = benchutil::MeasureOnRanks(world, reps, [&] {
+        auto input = jsort::GenerateInput(jsort::InputKind::kUniform,
+                                          world.Rank(), ranks, quota, 17);
+        auto tr = jsort::MakeRbcTransport(rw);
+        jsort::JQuickConfig cfg;
+        cfg.segment_bytes = seg;
+        jsort::JQuickSort(tr, std::move(input), cfg);
+      });
+      if (world.Rank() == 0) {
+        ctx.Row("segment_crossover", "samplesort", ranks, quota, ss,
+                {{"segment_bytes", seg}});
+        ctx.Row("segment_crossover", "jquick", ranks, quota, jq,
+                {{"segment_bytes", seg}});
+      }
+    }
+  });
 }
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "# Sensitivity: JQuick RBC advantage vs machine balance "
-      "(p=%d, n/p=%d, median of %d)\n",
-      kRanks, kQuota, kReps);
-  benchutil::PrintRowHeader(
-      {"alpha", "beta", "alpha/beta", "RBC.vt", "MPI.vt", "MPI/RBC"});
-  const double alphas[] = {1.0, 10.0, 100.0};
-  const double betas[] = {0.002, 0.02, 0.2};
-  for (double alpha : alphas) {
-    for (double beta : betas) {
-      mpisim::Runtime::Options opts;
-      opts.num_ranks = kRanks;
-      opts.cost.alpha = alpha;
-      opts.cost.beta = beta;
-      mpisim::Runtime rt(opts);
-      double rbc_vt = 0.0, mpi_vt = 0.0;
-      rt.Run([&](mpisim::Comm& world) {
-        const double a = Measure(world, true);
-        const double b = Measure(world, false);
-        if (world.Rank() == 0) {
-          rbc_vt = a;
-          mpi_vt = b;
-        }
-      });
-      benchutil::PrintCell(alpha);
-      benchutil::PrintCell(beta);
-      benchutil::PrintCell(alpha / beta);
-      benchutil::PrintCell(rbc_vt);
-      benchutil::PrintCell(mpi_vt);
-      benchutil::PrintCell(mpi_vt / std::max(rbc_vt, 1e-9));
-      benchutil::EndRow();
-    }
-  }
-  std::printf(
-      "\n# Shape check: the MPI/RBC ratio stays > 1 for every machine "
-      "balance. It is largest\n# when alpha is small relative to the "
-      "per-member construction cost (the linear O(p)\n# group "
-      "materialization then dominates a level), and still >1.5x when "
-      "startups dominate.\n");
-  return 0;
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_sensitivity";
+  spec.figure = "robustness of Sections VII-VIII";
+  spec.description =
+      "cost-model sensitivity: machine-balance sweep of the RBC advantage "
+      "plus the segment_bytes crossover behind the sorters' default";
+  spec.default_p = 64;
+  spec.default_reps = 3;
+  spec.sections = {
+      {"balance", "alpha/beta sweep of the JQuick RBC-vs-native ratio",
+       RunBalance},
+      {"segment_crossover",
+       "per-level exchange segment-limit sweep at large n/p",
+       RunSegmentCrossover}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

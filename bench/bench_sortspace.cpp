@@ -1,18 +1,17 @@
 // Section IV design space: single-level sample sort (one exchange, p-1
 // startups) vs k-way multi-level sample sort vs JQuick (log p levels,
-// O(1) messages each). Sweeps n/p to expose the crossover the paper's
-// Section IV describes: recursive algorithms win for small n/p, the
-// single-exchange algorithm wins once bandwidth dominates.
-#include <cstdio>
+// O(1) messages each) vs hypercube quicksort. Sweeps n/p to expose the
+// crossover the paper's Section IV describes: recursive algorithms win
+// for small n/p, the single-exchange algorithm wins once bandwidth
+// dominates.
+#include <memory>
 #include <vector>
 
-#include "benchutil.hpp"
+#include "harness.hpp"
 #include "sort/jsort.hpp"
+#include "sort/workload.hpp"
 
 namespace {
-
-constexpr int kRanks = 64;
-constexpr int kReps = 3;
 
 std::shared_ptr<jsort::Transport> RbcTransportOf(mpisim::Comm& world) {
   rbc::Comm rw;
@@ -20,55 +19,58 @@ std::shared_ptr<jsort::Transport> RbcTransportOf(mpisim::Comm& world) {
   return jsort::MakeRbcTransport(rw);
 }
 
-}  // namespace
-
-int main() {
-  std::printf(
-      "# Section IV design space on p=%d ranks (uniform doubles, median of "
-      "%d)\n",
-      kRanks, kReps);
-  benchutil::PrintRowHeader({"n/p", "jquick.vt", "ml.k4.vt", "ssort.vt",
-                             "hcube.vt"});
-  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = kRanks});
-  rt.Run([](mpisim::Comm& world) {
-    for (int lg = 0; lg <= 14; lg += 2) {
+void RunDesignSpace(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int reps = ctx.reps(3);
+  const int max_log = ctx.smoke() ? 6 : 14;
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  rt.Run([&](mpisim::Comm& world) {
+    for (int lg = 0; lg <= max_log; lg += 2) {
       const int quota = 1 << lg;
       auto gen = [&] {
         return jsort::GenerateInput(jsort::InputKind::kUniform, world.Rank(),
-                                    kRanks, quota, 83);
+                                    ranks, quota, 83);
       };
-      const auto jq = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto jq = benchutil::MeasureOnRanks(world, reps, [&] {
         auto tr = RbcTransportOf(world);
         jsort::JQuickSort(tr, gen());
       });
-      const auto ml = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto ml = benchutil::MeasureOnRanks(world, reps, [&] {
         auto tr = RbcTransportOf(world);
         jsort::MultilevelConfig cfg;
         cfg.k = 4;
         jsort::MultilevelSampleSort(tr, gen(), cfg);
       });
-      const auto ss = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto ss = benchutil::MeasureOnRanks(world, reps, [&] {
         auto tr = RbcTransportOf(world);
         jsort::SampleSort(tr, gen());
       });
-      const auto hc = benchutil::MeasureOnRanks(world, kReps, [&] {
+      const auto hc = benchutil::MeasureOnRanks(world, reps, [&] {
         auto tr = RbcTransportOf(world);
         jsort::HypercubeQuicksort(tr, gen());
       });
       if (world.Rank() == 0) {
-        benchutil::PrintCell(static_cast<double>(quota));
-        benchutil::PrintCell(jq.vtime);
-        benchutil::PrintCell(ml.vtime);
-        benchutil::PrintCell(ss.vtime);
-        benchutil::PrintCell(hc.vtime);
-        benchutil::EndRow();
+        ctx.Row("sortspace", "jquick", ranks, quota, jq);
+        ctx.Row("sortspace", "multilevel_k4", ranks, quota, ml);
+        ctx.Row("sortspace", "samplesort", ranks, quota, ss);
+        ctx.Row("sortspace", "hypercube", ranks, quota, hc);
       }
     }
   });
-  std::printf(
-      "\n# Shape check: sample sort pays p-1 startups (flat, high line for "
-      "small n/p, best\n# asymptote for huge n/p); the recursive algorithms "
-      "win for small n/p; multilevel k=4\n# interpolates between them "
-      "(Section IV's compromise).\n");
-  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_sortspace";
+  spec.figure = "Section IV";
+  spec.description =
+      "design-space sweep: jquick vs multilevel k=4 vs single-level sample "
+      "sort vs hypercube quicksort over n/p";
+  spec.default_p = 64;
+  spec.default_reps = 3;
+  spec.sections = {
+      {"designspace", "n/p sweep over the four sorters", RunDesignSpace}};
+  return benchutil::BenchMain(argc, argv, spec);
 }

@@ -5,13 +5,15 @@
 //    ranks) of the operation, the primary shape-comparison metric (the
 //    substrate oversubscribes one CPU, so wall time is noisy);
 //  * wall  -- rank-0 wall-clock milliseconds, for reference.
+//
+// Row emission, CLI parsing and JSON rendering live in the driver
+// subsystem (harness.hpp); this header only holds the measurement
+// primitives benchmarks call inside their sections.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <functional>
-#include <string>
 #include <vector>
 
 #include "mpisim/mpisim.hpp"
@@ -52,26 +54,12 @@ inline Measurement MeasureOnRanks(mpisim::Comm& world, int reps,
   return Measurement{median(walls), median(vts)};
 }
 
-/// Incremental emitter of the BENCH_*.json schema: one top-level JSON
-/// array of measurement objects sharing the keys bench/backend/p/count/
-/// vtime/wall_ms, with optional benchmark-specific extra fields appended
-/// as a preformatted `"key": value` fragment. Start rows with Row(),
-/// finish the stream with Close().
-class JsonRows {
- public:
-  void Row(const char* bench, const char* backend, int p, long long count,
-           const Measurement& m, const std::string& extra = {}) {
-    std::printf("%s\n  {\"bench\": \"%s\", \"backend\": \"%s\", \"p\": %d, "
-                "\"count\": %lld, \"vtime\": %.6f, \"wall_ms\": %.4f%s%s}",
-                first_ ? "[" : ",", bench, backend, p, count, m.vtime,
-                m.wall_ms, extra.empty() ? "" : ", ", extra.c_str());
-    first_ = false;
-  }
-  void Close() { std::printf("%s\n]\n", first_ ? "[" : ""); }
-
- private:
-  bool first_ = true;
-};
+/// Compiler barrier for microbenchmark loops: forces `value` (typically a
+/// pointer to the computed result) to be materialized.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
 
 /// Backend label of an exchange mode in the JSON rows.
 inline const char* ModeName(jsort::exchange::Mode mode) {
@@ -83,19 +71,5 @@ inline const char* ModeName(jsort::exchange::Mode mode) {
   }
   return "?";
 }
-
-/// Left-pads a string to the column width used by the tables.
-inline void PrintRowHeader(const std::vector<std::string>& cols) {
-  for (const auto& c : cols) std::printf("%16s", c.c_str());
-  std::printf("\n");
-  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "----");
-  std::printf("\n");
-}
-
-inline void PrintCell(double v) { std::printf("%16.4f", v); }
-inline void PrintCell(const std::string& s) {
-  std::printf("%16s", s.c_str());
-}
-inline void EndRow() { std::printf("\n"); }
 
 }  // namespace benchutil

@@ -1,0 +1,426 @@
+#include "harness.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_build_info.hpp"
+
+namespace benchutil {
+
+void BenchReport::Row(std::string bench, std::string backend, int p,
+                      long long count, const Measurement& m,
+                      std::vector<Field> extras) {
+  rows_.push_back(RowData{std::move(bench), std::move(backend), p, count, m,
+                          std::move(extras)});
+}
+
+std::string BenchReport::EscapeJson(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string BenchReport::JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+namespace {
+
+std::string RenderField(const Field& f) {
+  std::string out = "\"" + BenchReport::EscapeJson(f.key) + "\": ";
+  switch (f.kind) {
+    case Field::Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRId64, f.i);
+      out += buf;
+      break;
+    }
+    case Field::Kind::kDouble:
+      out += BenchReport::JsonNumber(f.d);
+      break;
+    case Field::Kind::kString:
+      out += "\"" + BenchReport::EscapeJson(f.s) + "\"";
+      break;
+    case Field::Kind::kBool:
+      out += f.b ? "true" : "false";
+      break;
+  }
+  return out;
+}
+
+std::string FieldValueForTable(const Field& f) {
+  switch (f.kind) {
+    case Field::Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRId64, f.i);
+      return buf;
+    }
+    case Field::Kind::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.4f", f.d);
+      return buf;
+    }
+    case Field::Kind::kString:
+      return f.s;
+    case Field::Kind::kBool:
+      return f.b ? "true" : "false";
+  }
+  return "?";
+}
+
+// --- minimal JSON syntax checker --------------------------------------------
+//
+// A complete recursive-descent recognizer of the JSON grammar (RFC 8259),
+// value construction omitted. Small enough to trust; strict enough to
+// catch every escaping or comma bug the renderer could produce.
+
+struct JsonScanner {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return AtEnd() ? '\0' : text[pos]; }
+  void SkipWs() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                        text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Consume(char c) {
+    if (Peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (!AtEnd()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (AtEnd()) return false;
+        const char e = text[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(
+                               text[pos]))) {
+              return false;
+            }
+            ++pos;
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Digits() {
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return false;
+    }
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      ++pos;
+    }
+    return true;
+  }
+
+  bool Number() {
+    Consume('-');
+    if (Consume('0')) {
+      // no further leading-zero digits
+    } else if (!Digits()) {
+      return false;
+    }
+    if (Consume('.')) {
+      if (!Digits()) return false;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos;
+      if (Peek() == '+' || Peek() == '-') ++pos;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Value() {
+    if (++depth > 64) return false;
+    SkipWs();
+    bool ok = false;
+    switch (Peek()) {
+      case '{': ok = Object(); break;
+      case '[': ok = Array(); break;
+      case '"': ok = String(); break;
+      case 't': ok = ConsumeLiteral("true"); break;
+      case 'f': ok = ConsumeLiteral("false"); break;
+      case 'n': ok = ConsumeLiteral("null"); break;
+      default: ok = Number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool Object() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      if (!Value()) return false;
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool Array() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool BenchReport::ValidJson(std::string_view text) {
+  JsonScanner s{text};
+  if (!s.Value()) return false;
+  s.SkipWs();
+  return s.AtEnd();
+}
+
+std::string BenchReport::RenderJson() const {
+  std::string out = "{\n  \"meta\": {";
+  out += "\"binary\": \"" + EscapeJson(meta_.binary) + "\", ";
+  out += "\"figure\": \"" + EscapeJson(meta_.figure) + "\", ";
+  out += "\"p\": " + std::to_string(meta_.p) + ", ";
+  out += "\"reps\": " + std::to_string(meta_.reps) + ", ";
+  out += std::string("\"smoke\": ") + (meta_.smoke ? "true" : "false") + ", ";
+  out += "\"git_describe\": \"" + EscapeJson(meta_.git_describe) + "\", ";
+  out += "\"schema_version\": 2},\n  \"rows\": [";
+  bool first = true;
+  for (const RowData& r : rows_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"bench\": \"" + EscapeJson(r.bench) + "\", ";
+    out += "\"backend\": \"" + EscapeJson(r.backend) + "\", ";
+    out += "\"p\": " + std::to_string(r.p) + ", ";
+    out += "\"count\": " + std::to_string(r.count) + ", ";
+    out += "\"vtime\": " + JsonNumber(r.m.vtime) + ", ";
+    out += "\"wall_ms\": " + JsonNumber(r.m.wall_ms);
+    for (const Field& f : r.extras) {
+      out += ", " + RenderField(f);
+    }
+    out += "}";
+  }
+  out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  if (!ValidJson(out)) {
+    std::fprintf(stderr,
+                 "benchutil: internal error: rendered JSON failed "
+                 "self-validation\n%s\n",
+                 out.c_str());
+    std::abort();
+  }
+  return out;
+}
+
+std::string BenchReport::RenderTable() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "# %s (%s) -- p=%d, reps=%d%s, git %s\n", meta_.binary.c_str(),
+                meta_.figure.c_str(), meta_.p, meta_.reps,
+                meta_.smoke ? ", SMOKE" : "", meta_.git_describe.c_str());
+  out += buf;
+  std::string current_bench;
+  for (const RowData& r : rows_) {
+    if (r.bench != current_bench) {
+      current_bench = r.bench;
+      std::snprintf(buf, sizeof buf, "\n%-28s%-14s%8s%12s%14s%12s\n",
+                    current_bench.c_str(), "backend", "p", "count", "vtime",
+                    "wall_ms");
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "%-28s%-14s%8d%12lld%14.4f%12.3f",
+                  "", r.backend.c_str(), r.p, r.count, r.m.vtime,
+                  r.m.wall_ms);
+    out += buf;
+    for (const Field& f : r.extras) {
+      out += "  " + f.key + "=" + FieldValueForTable(f);
+    }
+    out += "\n";
+  }
+  if (rows_.empty()) out += "  (no rows)\n";
+  return out;
+}
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto needs_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        opt.error = std::string(flag) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else if (arg == "--reps") {
+      const char* v = needs_value("--reps");
+      if (v == nullptr) return opt;
+      opt.reps = std::atoi(v);
+      if (opt.reps <= 0) {
+        opt.error = "--reps requires a positive integer";
+        return opt;
+      }
+    } else if (arg == "--json") {
+      const char* v = needs_value("--json");
+      if (v == nullptr) return opt;
+      opt.json_path = v;
+    } else if (arg == "--filter") {
+      const char* v = needs_value("--filter");
+      if (v == nullptr) return opt;
+      opt.filter = v;
+    } else {
+      opt.error = "unknown option: " + std::string(arg);
+      return opt;
+    }
+  }
+  return opt;
+}
+
+namespace {
+
+void PrintUsage(const BenchSpec& spec, std::FILE* to) {
+  std::fprintf(to,
+               "%s -- %s\n"
+               "reproduces: %s\n\n"
+               "usage: %s [--smoke] [--reps N] [--json PATH] [--list] "
+               "[--filter SUBSTR]\n"
+               "  --smoke          shrink every sweep for CI (reps "
+               "default to 1)\n"
+               "  --reps N         override the repetition count\n"
+               "  --json PATH      write the JSON document to PATH "
+               "instead of stdout\n"
+               "  --list           list section names and exit\n"
+               "  --filter SUBSTR  run only sections whose name contains "
+               "SUBSTR\n",
+               spec.binary.c_str(), spec.description.c_str(),
+               spec.figure.c_str(), spec.binary.c_str());
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv, const BenchSpec& spec) {
+  const BenchOptions opt = ParseBenchOptions(argc, argv);
+  if (!opt.error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", spec.binary.c_str(), opt.error.c_str());
+    PrintUsage(spec, stderr);
+    return 2;
+  }
+  if (opt.help) {
+    PrintUsage(spec, stdout);
+    return 0;
+  }
+  if (opt.list) {
+    for (const BenchSection& s : spec.sections) {
+      std::printf("%-24s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return 0;
+  }
+
+  BenchMeta meta;
+  meta.binary = spec.binary;
+  meta.figure = spec.figure;
+  meta.p = spec.default_p;
+  meta.smoke = opt.smoke;
+  meta.git_describe = kGitDescribe;
+  meta.reps = opt.reps > 0 ? opt.reps : (opt.smoke ? 1 : spec.default_reps);
+  BenchReport report(meta);
+  BenchContext ctx(report, opt.smoke, opt.reps);
+
+  int matched = 0;
+  for (const BenchSection& s : spec.sections) {
+    if (!opt.filter.empty() &&
+        s.name.find(opt.filter) == std::string::npos) {
+      continue;
+    }
+    ++matched;
+    std::fprintf(stderr, "## section %s: %s\n", s.name.c_str(),
+                 s.description.c_str());
+    s.run(ctx);
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "%s: no section matches --filter '%s'\n",
+                 spec.binary.c_str(), opt.filter.c_str());
+    return 2;
+  }
+
+  std::fputs(report.RenderTable().c_str(), stderr);
+
+  const std::string json = report.RenderJson();
+  if (opt.json_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot open %s for writing\n",
+                   spec.binary.c_str(), opt.json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  return 0;
+}
+
+}  // namespace benchutil

@@ -1,0 +1,193 @@
+// The benchmark driver subsystem shared by every bench_* binary.
+//
+// Each binary declares one BenchSpec -- which paper figure/section it
+// reproduces, its primary process count, its canonical repetition count,
+// and a list of named sections -- and hands control to BenchMain, which
+// owns everything that used to be duplicated per binary:
+//
+//  * CLI parsing: --smoke, --reps N, --json <path>, --list,
+//    --filter <substr>, --help;
+//  * row emission: every row a section declares goes exactly once to the
+//    human-readable table (stderr) and once to the machine-readable JSON
+//    document (stdout, or the --json path);
+//  * the metadata header object (binary, figure, p, reps, smoke flag,
+//    git describe baked in at configure time, schema version);
+//  * JSON escaping and a final self-validation pass over the rendered
+//    document before anything is written.
+//
+// The JSON document is the BENCH_*.json schema v2 that
+// tools/validate_bench.py gates CI on:
+//
+//   {
+//     "meta": {"binary": ..., "figure": ..., "p": ..., "reps": ...,
+//              "smoke": ..., "git_describe": ..., "schema_version": 2},
+//     "rows": [
+//       {"bench": ..., "backend": ..., "p": ..., "count": ...,
+//        "vtime": ..., "wall_ms": ..., <per-bench extra fields>},
+//       ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "benchutil.hpp"
+
+namespace benchutil {
+
+/// One typed extra field of a row. The harness renders (and escapes) the
+/// value itself, so benchmarks never hand-assemble JSON fragments.
+struct Field {
+  enum class Kind { kInt, kDouble, kString, kBool };
+
+  // int/long/long long (rather than the fixed-width aliases) keeps the
+  // overload set free of duplicates on every data model: std::int64_t is
+  // long on LP64 Linux but long long on macOS/LLP64.
+  Field(std::string k, int v)
+      : key(std::move(k)), kind(Kind::kInt), i(v) {}
+  Field(std::string k, long v)
+      : key(std::move(k)), kind(Kind::kInt), i(v) {}
+  Field(std::string k, long long v)
+      : key(std::move(k)), kind(Kind::kInt), i(v) {}
+  Field(std::string k, double v)
+      : key(std::move(k)), kind(Kind::kDouble), d(v) {}
+  Field(std::string k, std::string v)
+      : key(std::move(k)), kind(Kind::kString), s(std::move(v)) {}
+  Field(std::string k, const char* v)
+      : key(std::move(k)), kind(Kind::kString), s(v) {}
+  Field(std::string k, bool v)
+      : key(std::move(k)), kind(Kind::kBool), b(v) {}
+
+  std::string key;
+  Kind kind;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+  bool b = false;
+};
+
+/// The metadata header object of one benchmark run.
+struct BenchMeta {
+  std::string binary;        // e.g. "bench_fig4_iscan"
+  std::string figure;        // paper figure/section this reproduces
+  int p = 0;                 // primary process count of the full sweep
+  int reps = 0;              // effective default repetition count
+  bool smoke = false;
+  std::string git_describe;  // configure-time `git describe` of the tree
+};
+
+/// Accumulates declared rows and renders them to the two outputs. Pure
+/// (no I/O, no globals), so the unit tests can drive it directly.
+class BenchReport {
+ public:
+  explicit BenchReport(BenchMeta meta) : meta_(std::move(meta)) {}
+
+  struct RowData {
+    std::string bench;
+    std::string backend;
+    int p = 0;
+    long long count = 0;
+    Measurement m;
+    std::vector<Field> extras;
+  };
+
+  void Row(std::string bench, std::string backend, int p, long long count,
+           const Measurement& m, std::vector<Field> extras = {});
+
+  /// Renders the schema-v2 JSON document. Aborts (assert-style, via
+  /// std::abort after a diagnostic) if the rendered text fails ValidJson
+  /// -- the harness never emits malformed output.
+  std::string RenderJson() const;
+
+  /// Renders the human-readable table: one header per bench-name group,
+  /// extras appended as key=value.
+  std::string RenderTable() const;
+
+  const BenchMeta& meta() const { return meta_; }
+  const std::vector<RowData>& rows() const { return rows_; }
+
+  /// JSON string escaping (backslash, quote, control characters).
+  static std::string EscapeJson(std::string_view raw);
+
+  /// Renders a double as a JSON number; non-finite values (which JSON
+  /// cannot represent) become null.
+  static std::string JsonNumber(double v);
+
+  /// Minimal complete JSON syntax checker (objects, arrays, strings,
+  /// numbers, true/false/null). Used as the self-validation pass and by
+  /// the harness unit tests.
+  static bool ValidJson(std::string_view text);
+
+ private:
+  BenchMeta meta_;
+  std::vector<RowData> rows_;
+};
+
+/// Per-section view handed to the benchmark body.
+class BenchContext {
+ public:
+  BenchContext(BenchReport& report, bool smoke, int cli_reps)
+      : report_(report), smoke_(smoke), cli_reps_(cli_reps) {}
+
+  bool smoke() const { return smoke_; }
+
+  /// Repetition count resolution: an explicit --reps wins; otherwise
+  /// smoke mode collapses to 1; otherwise the section's full default.
+  int reps(int full_default) const {
+    if (cli_reps_ > 0) return cli_reps_;
+    return smoke_ ? 1 : full_default;
+  }
+
+  void Row(std::string bench, std::string backend, int p, long long count,
+           const Measurement& m, std::vector<Field> extras = {}) {
+    report_.Row(std::move(bench), std::move(backend), p, count, m,
+                std::move(extras));
+  }
+
+ private:
+  BenchReport& report_;
+  bool smoke_;
+  int cli_reps_;
+};
+
+/// One named, filterable unit of a benchmark binary.
+struct BenchSection {
+  std::string name;
+  std::string description;
+  std::function<void(BenchContext&)> run;
+};
+
+/// The static declaration of one benchmark binary.
+struct BenchSpec {
+  std::string binary;
+  std::string figure;
+  std::string description;
+  int default_p = 0;     // primary process count (meta only)
+  int default_reps = 3;  // canonical full-run repetitions (meta + reps())
+  std::vector<BenchSection> sections;
+};
+
+/// Parsed command line of a benchmark binary.
+struct BenchOptions {
+  bool smoke = false;
+  bool list = false;
+  bool help = false;
+  int reps = 0;           // 0 = use defaults
+  std::string filter;     // substring match on section names
+  std::string json_path;  // empty = stdout
+  std::string error;      // non-empty = malformed command line
+};
+
+/// Parses argv. Exposed separately for the unit tests.
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Runs the benchmark binary: parse options, run the matching sections,
+/// write the table to stderr and the validated JSON document to stdout or
+/// the --json path. Returns the process exit code.
+int BenchMain(int argc, char** argv, const BenchSpec& spec);
+
+}  // namespace benchutil

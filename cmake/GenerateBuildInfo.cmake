@@ -1,0 +1,22 @@
+# Script-mode generator of bench_build_info.hpp, run on every build (not
+# just at configure time) so the git describe recorded in BENCH_*.json
+# metadata cannot go stale between configures. configure_file only
+# rewrites the output when the content changes, so no-op runs do not
+# trigger rebuilds.
+#
+# Inputs: -DSRC_DIR=<repo root> -DTEMPLATE=<version.hpp.in> -DOUT=<header>
+find_package(Git QUIET)
+set(JSORT_GIT_DESCRIBE "unknown")
+if(GIT_EXECUTABLE)
+  execute_process(
+    COMMAND ${GIT_EXECUTABLE} describe --always --dirty
+    WORKING_DIRECTORY ${SRC_DIR}
+    RESULT_VARIABLE _git_describe_rc
+    OUTPUT_VARIABLE _git_describe_out
+    OUTPUT_STRIP_TRAILING_WHITESPACE
+    ERROR_QUIET)
+  if(_git_describe_rc EQUAL 0)
+    set(JSORT_GIT_DESCRIBE "${_git_describe_out}")
+  endif()
+endif()
+configure_file(${TEMPLATE} ${OUT} @ONLY)

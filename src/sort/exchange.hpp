@@ -53,6 +53,17 @@
 namespace jsort {
 namespace exchange {
 
+/// Default large-message segment limit (bytes) of the sorter configs
+/// (JQuickConfig / SampleSortConfig / MultilevelConfig). Measured with
+/// bench_sensitivity's segment_crossover sweep on the virtual cost model
+/// (p=16, n/p=2^15): 64 KiB is where segmentation stops costing the dense
+/// Alltoallv path (its per-peer blocks pipeline across the rbc rounds, so
+/// vtime stays within 0.5% of unsegmented) while the skewed jquick
+/// exchanges already gain ~2%, and smaller limits (4..16 KiB) tax one or
+/// both paths with per-chunk startups. Messages below the limit are
+/// unaffected; above it, memory per in-flight message stays bounded.
+inline constexpr std::int64_t kDefaultSegmentBytes = 65536;
+
 /// Per-rank traffic accounting of one redistribution. Counts payload
 /// messages only; the dense path's metadata (counts) round is excluded so
 /// the numbers stay comparable across paths.

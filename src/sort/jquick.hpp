@@ -45,8 +45,9 @@ struct JQuickConfig {
   exchange::Mode exchange_mode = exchange::Mode::kAuto;
   /// Large-message segment limit of the per-level exchange (bytes; 0 =
   /// unsegmented). Past it, payload messages are pipelined/chunked and
-  /// kAuto prefers the chunk-capable sparse path over coalesced.
-  std::int64_t segment_bytes = 0;
+  /// kAuto prefers the chunk-capable sparse path over coalesced. Defaults
+  /// to the measured crossover (see exchange::kDefaultSegmentBytes).
+  std::int64_t segment_bytes = exchange::kDefaultSegmentBytes;
   std::uint64_t seed = 1;
 };
 

@@ -37,8 +37,9 @@ struct MultilevelConfig {
   exchange::Mode exchange_mode = exchange::Mode::kAuto;
   /// Large-message segment limit of the per-level exchange (bytes; 0 =
   /// unsegmented): past it, payload messages are chunked/pipelined by the
-  /// selected path.
-  std::int64_t segment_bytes = 0;
+  /// selected path. Defaults to the measured crossover (see
+  /// exchange::kDefaultSegmentBytes).
+  std::int64_t segment_bytes = exchange::kDefaultSegmentBytes;
 };
 
 struct MultilevelStats {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "sort/exchange.hpp"
 #include "sort/transport.hpp"
 
 namespace jsort {
@@ -20,8 +21,9 @@ struct SampleSortConfig {
   int oversample = 8;
   /// Large-message segment limit of the bucket exchange (bytes; 0 =
   /// unsegmented): past it, each per-peer payload block is pipelined in
-  /// segments of at most this many bytes.
-  std::int64_t segment_bytes = 0;
+  /// segments of at most this many bytes. Defaults to the measured
+  /// crossover (see exchange::kDefaultSegmentBytes).
+  std::int64_t segment_bytes = exchange::kDefaultSegmentBytes;
   std::uint64_t seed = 1;
 };
 

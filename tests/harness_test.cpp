@@ -1,0 +1,196 @@
+// Unit tests of the benchmark driver subsystem (bench/harness.{hpp,cpp}):
+// JSON rendering and escaping through edge cases (empty run, hostile
+// strings, non-finite numbers), the minimal JSON syntax checker the
+// harness self-validates with, CLI option parsing, and the smoke-vs-full
+// repetition resolution. The rendered document must match the schema that
+// bench/manifest.json + tools/validate_bench.py gate CI on: a top-level
+// {meta, rows} object whose meta carries binary/figure/p/reps/smoke/
+// git_describe/schema_version and whose rows carry
+// bench/backend/p/count/vtime/wall_ms plus typed extras.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "harness.hpp"
+
+namespace {
+
+using benchutil::BenchContext;
+using benchutil::BenchMeta;
+using benchutil::BenchReport;
+using benchutil::Field;
+using benchutil::Measurement;
+using benchutil::ParseBenchOptions;
+
+BenchMeta TestMeta() {
+  BenchMeta meta;
+  meta.binary = "bench_unit";
+  meta.figure = "Figure 0";
+  meta.p = 8;
+  meta.reps = 3;
+  meta.smoke = false;
+  meta.git_describe = "v0-test";
+  return meta;
+}
+
+// --- ValidJson --------------------------------------------------------------
+
+TEST(ValidJson, AcceptsCanonicalDocuments) {
+  EXPECT_TRUE(BenchReport::ValidJson("{}"));
+  EXPECT_TRUE(BenchReport::ValidJson("[]"));
+  EXPECT_TRUE(BenchReport::ValidJson("  {\"a\": [1, -2.5, 1e9, true, "
+                                     "false, null], \"b\": {\"c\": \"d\"}} "));
+  EXPECT_TRUE(BenchReport::ValidJson("\"lone string\""));
+  EXPECT_TRUE(BenchReport::ValidJson("-0.25"));
+  EXPECT_TRUE(BenchReport::ValidJson("{\"esc\": \"a\\\"b\\\\c\\n\\u0007\"}"));
+}
+
+TEST(ValidJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(BenchReport::ValidJson(""));
+  EXPECT_FALSE(BenchReport::ValidJson("{"));
+  EXPECT_FALSE(BenchReport::ValidJson("{\"a\": 1,}"));      // trailing comma
+  EXPECT_FALSE(BenchReport::ValidJson("[1 2]"));            // missing comma
+  EXPECT_FALSE(BenchReport::ValidJson("{\"a\" 1}"));        // missing colon
+  EXPECT_FALSE(BenchReport::ValidJson("{'a': 1}"));         // single quotes
+  EXPECT_FALSE(BenchReport::ValidJson("\"unterminated"));
+  EXPECT_FALSE(BenchReport::ValidJson("\"bad \\x escape\""));
+  EXPECT_FALSE(BenchReport::ValidJson("01"));               // leading zero
+  EXPECT_FALSE(BenchReport::ValidJson("1."));               // bare point
+  EXPECT_FALSE(BenchReport::ValidJson("nan"));
+  EXPECT_FALSE(BenchReport::ValidJson("{} trailing"));
+  EXPECT_FALSE(BenchReport::ValidJson("\"raw\ncontrol\""));
+}
+
+// --- escaping and number rendering ------------------------------------------
+
+TEST(JsonEscaping, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(BenchReport::EscapeJson("plain"), "plain");
+  EXPECT_EQ(BenchReport::EscapeJson("a\"b"), "a\\\"b");
+  EXPECT_EQ(BenchReport::EscapeJson("a\\b"), "a\\\\b");
+  EXPECT_EQ(BenchReport::EscapeJson("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(BenchReport::EscapeJson(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonEscaping, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(BenchReport::JsonNumber(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(BenchReport::JsonNumber(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(BenchReport::JsonNumber(1.5), "1.500000");
+}
+
+// --- document rendering -----------------------------------------------------
+
+TEST(BenchReport, EmptyRunRendersValidSchemaDocument) {
+  BenchReport report(TestMeta());
+  const std::string json = report.RenderJson();
+  EXPECT_TRUE(BenchReport::ValidJson(json));
+  EXPECT_NE(json.find("\"rows\": []"), std::string::npos);
+  // The metadata header the manifest gate requires.
+  EXPECT_NE(json.find("\"binary\": \"bench_unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"figure\": \"Figure 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"p\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"reps\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"smoke\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\": \"v0-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(report.RenderTable().find("(no rows)"), std::string::npos);
+}
+
+TEST(BenchReport, RowsCarryCoreKeysAndTypedExtras) {
+  BenchReport report(TestMeta());
+  report.Row("my_bench", "rbc", 16, 1024, Measurement{2.5, 125.0},
+             {Field{"messages", std::int64_t{7}},
+              Field{"ratio", 1.25},
+              Field{"input", "zipf"},
+              Field{"segmented", true}});
+  const std::string json = report.RenderJson();
+  EXPECT_TRUE(BenchReport::ValidJson(json));
+  EXPECT_NE(json.find("{\"bench\": \"my_bench\", \"backend\": \"rbc\", "
+                      "\"p\": 16, \"count\": 1024, \"vtime\": 125.000000, "
+                      "\"wall_ms\": 2.500000, \"messages\": 7, "
+                      "\"ratio\": 1.250000, \"input\": \"zipf\", "
+                      "\"segmented\": true}"),
+            std::string::npos);
+  const std::string table = report.RenderTable();
+  EXPECT_NE(table.find("my_bench"), std::string::npos);
+  EXPECT_NE(table.find("messages=7"), std::string::npos);
+  EXPECT_NE(table.find("input=zipf"), std::string::npos);
+}
+
+TEST(BenchReport, HostileStringsStillRenderValidJson) {
+  BenchMeta meta = TestMeta();
+  meta.figure = "quotes \" and \\ and\nnewlines";
+  meta.git_describe = "tag\twith\ttabs";
+  BenchReport report(meta);
+  report.Row("bench\"quoted", "back\\slash", 1, 0, Measurement{},
+             {Field{"k\ne\ry", "v\x01lue"}});
+  const std::string json = report.RenderJson();  // aborts if invalid
+  EXPECT_TRUE(BenchReport::ValidJson(json));
+  EXPECT_NE(json.find("bench\\\"quoted"), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+}
+
+TEST(BenchReport, NonFiniteMeasurementsRenderAsNull) {
+  BenchReport report(TestMeta());
+  report.Row("nan_bench", "x", 1, 0,
+             Measurement{std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::quiet_NaN()});
+  const std::string json = report.RenderJson();
+  EXPECT_TRUE(BenchReport::ValidJson(json));
+  EXPECT_NE(json.find("\"vtime\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\": null"), std::string::npos);
+}
+
+// --- CLI parsing and reps resolution ----------------------------------------
+
+TEST(ParseBenchOptionsTest, ParsesEveryFlag) {
+  const char* argv[] = {"bench", "--smoke", "--reps", "7", "--json",
+                        "/tmp/x.json", "--filter", "skew", "--list"};
+  auto opt = ParseBenchOptions(9, const_cast<char**>(argv));
+  EXPECT_TRUE(opt.error.empty());
+  EXPECT_TRUE(opt.smoke);
+  EXPECT_TRUE(opt.list);
+  EXPECT_EQ(opt.reps, 7);
+  EXPECT_EQ(opt.json_path, "/tmp/x.json");
+  EXPECT_EQ(opt.filter, "skew");
+}
+
+TEST(ParseBenchOptionsTest, RejectsMalformedInvocations) {
+  {
+    const char* argv[] = {"bench", "--reps"};
+    EXPECT_FALSE(ParseBenchOptions(2, const_cast<char**>(argv)).error
+                     .empty());
+  }
+  {
+    const char* argv[] = {"bench", "--reps", "0"};
+    EXPECT_FALSE(ParseBenchOptions(3, const_cast<char**>(argv)).error
+                     .empty());
+  }
+  {
+    const char* argv[] = {"bench", "--frobnicate"};
+    EXPECT_FALSE(ParseBenchOptions(2, const_cast<char**>(argv)).error
+                     .empty());
+  }
+}
+
+TEST(BenchContextTest, SmokeVsFullRepsResolution) {
+  BenchReport report(TestMeta());
+  {
+    BenchContext full(report, /*smoke=*/false, /*cli_reps=*/0);
+    EXPECT_EQ(full.reps(5), 5);
+    EXPECT_FALSE(full.smoke());
+  }
+  {
+    BenchContext smoke(report, /*smoke=*/true, /*cli_reps=*/0);
+    EXPECT_EQ(smoke.reps(5), 1);
+    EXPECT_TRUE(smoke.smoke());
+  }
+  {
+    BenchContext forced(report, /*smoke=*/true, /*cli_reps=*/9);
+    EXPECT_EQ(forced.reps(5), 9);  // explicit --reps beats smoke
+  }
+}
+
+}  // namespace

@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Manifest-driven gate for the BENCH_*.json benchmark outputs.
+
+Validates every benchmark declared in bench/manifest.json against the
+shared schema-v2 document layout:
+
+    {"meta": {binary, figure, p, reps, smoke, git_describe,
+              schema_version}, "rows": [{bench, backend, p, count, vtime,
+              wall_ms, ...extras}]}
+
+and against the manifest's per-bench contract: the set of emitted bench
+names, the per-bench required extra keys, the per-bench backend sets, and
+the per-row invariant assertions (e.g. segmented exchanges must bound
+every wire message by segment_bytes).
+
+The manifest is also a coverage gate: every bench/bench_*.cpp source must
+have a manifest entry and vice versa, so adding a benchmark without
+wiring it into the CI gate fails the build.
+
+Usage:
+    validate_bench.py bench/manifest.json                   # validate
+    validate_bench.py bench/manifest.json --run --smoke \
+        --bin-dir build --json-dir bench-json               # run + validate
+    validate_bench.py bench/manifest.json --only bench_alltoall ...
+
+With --run, each binary is executed as
+    <bin-dir>/<binary> [--smoke] --json <json-dir>/<json>
+before its output is validated; without it, the JSON artifacts are
+expected to exist in --json-dir already.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+CORE_KEYS = {
+    "bench": str,
+    "backend": str,
+    "p": int,
+    "count": int,
+    "vtime": (int, float),
+    "wall_ms": (int, float),
+}
+
+META_KEYS = {
+    "binary": str,
+    "figure": str,
+    "p": int,
+    "reps": int,
+    "smoke": bool,
+    "git_describe": str,
+    "schema_version": int,
+}
+
+SCHEMA_VERSION = 2
+
+
+class Failures:
+    def __init__(self):
+        self.messages = []
+
+    def add(self, context, message):
+        self.messages.append(f"{context}: {message}")
+
+    def __bool__(self):
+        return bool(self.messages)
+
+
+def check_coverage(manifest_path, manifest, fail):
+    """Manifest entries and bench_*.cpp sources must match one-to-one."""
+    bench_dir = manifest_path.parent
+    sources = {p.stem for p in bench_dir.glob("bench_*.cpp")}
+    declared = {e["binary"] for e in manifest["benchmarks"]}
+    for missing in sorted(sources - declared):
+        fail.add(
+            "coverage",
+            f"{missing}.cpp has no entry in {manifest_path}; every "
+            "benchmark must be wired into the CI gate",
+        )
+    for stale in sorted(declared - sources):
+        fail.add(
+            "coverage",
+            f"manifest entry '{stale}' has no bench/{stale}.cpp source",
+        )
+    dupes = [b for b in declared
+             if sum(1 for e in manifest["benchmarks"]
+                    if e["binary"] == b) > 1]
+    for d in sorted(set(dupes)):
+        fail.add("coverage", f"manifest declares '{d}' more than once")
+
+
+def run_benchmark(entry, args, fail):
+    binary = pathlib.Path(args.bin_dir) / entry["binary"]
+    out_path = pathlib.Path(args.json_dir) / entry["json"]
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    cmd = [str(binary)]
+    if args.smoke:
+        cmd.append("--smoke")
+    cmd += ["--json", str(out_path)]
+    try:
+        proc = subprocess.run(
+            cmd, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+            timeout=args.timeout, check=False)
+    except FileNotFoundError:
+        fail.add(entry["binary"], f"binary not found: {binary}")
+        return
+    except subprocess.TimeoutExpired:
+        fail.add(entry["binary"], f"timed out after {args.timeout}s")
+        return
+    if proc.returncode != 0:
+        tail = proc.stderr.decode(errors="replace").strip().splitlines()
+        fail.add(
+            entry["binary"],
+            f"exited with {proc.returncode}: {' | '.join(tail[-3:])}",
+        )
+
+
+def eval_assertion(expr, row):
+    """Evaluates an invariant expression with the row's fields as
+    variables. The manifest is checked-in and reviewed, so a restricted
+    eval (no builtins) is the right power-to-weight."""
+    return eval(expr, {"__builtins__": {}}, dict(row))  # noqa: S307
+
+
+def validate_entry(entry, args, fail):
+    name = entry["binary"]
+    path = pathlib.Path(args.json_dir) / entry["json"]
+    if not path.is_file():
+        fail.add(name, f"missing JSON artifact {path}")
+        return
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        fail.add(name, f"{path} is not valid JSON: {e}")
+        return
+
+    if not isinstance(doc, dict) or set(doc) != {"meta", "rows"}:
+        fail.add(name, f"{path}: top level must be {{meta, rows}}")
+        return
+
+    meta = doc["meta"]
+    for key, typ in META_KEYS.items():
+        if key not in meta:
+            fail.add(name, f"meta lacks '{key}'")
+        elif not isinstance(meta[key], typ) or (
+                typ is int and isinstance(meta[key], bool)):
+            fail.add(name, f"meta.{key} has type {type(meta[key]).__name__}")
+    if meta.get("binary") != name:
+        fail.add(name, f"meta.binary is '{meta.get('binary')}'")
+    if meta.get("schema_version") != SCHEMA_VERSION:
+        fail.add(name, f"meta.schema_version is {meta.get('schema_version')}"
+                       f", expected {SCHEMA_VERSION}")
+    if isinstance(meta.get("reps"), int) and meta["reps"] < 1:
+        fail.add(name, f"meta.reps is {meta['reps']}")
+    if isinstance(meta.get("git_describe"), str) and not meta["git_describe"]:
+        fail.add(name, "meta.git_describe is empty")
+
+    rows = doc["rows"]
+    if not isinstance(rows, list):
+        fail.add(name, "rows is not a list")
+        return
+    if len(rows) < entry.get("min_rows", 1):
+        fail.add(name, f"only {len(rows)} rows "
+                       f"(expected >= {entry.get('min_rows', 1)})")
+
+    contract = entry["benches"]
+    seen_benches = {}
+    for i, row in enumerate(rows):
+        ctx = f"{name} rows[{i}]"
+        if not isinstance(row, dict):
+            fail.add(ctx, "row is not an object")
+            continue
+        for key, typ in CORE_KEYS.items():
+            if key not in row:
+                fail.add(ctx, f"lacks core key '{key}'")
+            elif not isinstance(row[key], typ) or isinstance(row[key], bool):
+                fail.add(ctx, f"{key} has type {type(row[key]).__name__}")
+        bench = row.get("bench")
+        if not isinstance(bench, str):
+            continue
+        seen_benches.setdefault(bench, []).append(row)
+        if bench not in contract:
+            fail.add(ctx, f"undeclared bench name '{bench}'")
+            continue
+        if isinstance(row.get("p"), int) and row["p"] < 1:
+            fail.add(ctx, f"p is {row['p']}")
+        if isinstance(row.get("count"), int) and row["count"] < 0:
+            fail.add(ctx, f"count is {row['count']}")
+        for metric in ("vtime", "wall_ms"):
+            v = row.get(metric)
+            if isinstance(v, (int, float)) and not isinstance(v, bool) \
+                    and v < 0:
+                fail.add(ctx, f"{metric} is negative ({v})")
+        for key in contract[bench].get("required_keys", []):
+            if key not in row:
+                fail.add(ctx, f"bench '{bench}' requires key '{key}'")
+            elif row[key] is None:
+                fail.add(ctx, f"required key '{key}' is null")
+
+    for bench, spec in contract.items():
+        if bench not in seen_benches:
+            fail.add(name, f"no rows for declared bench '{bench}'")
+            continue
+        want = spec.get("backends")
+        if want is not None:
+            got = {r.get("backend") for r in seen_benches[bench]}
+            if got != set(want):
+                fail.add(name, f"bench '{bench}' backends {sorted(got)} != "
+                               f"declared {sorted(want)}")
+
+    for assertion in entry.get("asserts", []):
+        where = assertion.get("where", {})
+        expr = assertion["expr"]
+        label = assertion.get("name", expr)
+        matched = 0
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                continue
+            if any(row.get(k) != v for k, v in where.items()):
+                continue
+            matched += 1
+            try:
+                ok = eval_assertion(expr, row)
+            except Exception as e:  # noqa: BLE001 -- report, don't crash
+                fail.add(name, f"assert '{label}' raised {e!r} on rows[{i}]")
+                continue
+            if not ok:
+                fail.add(name, f"assert '{label}' failed on rows[{i}]: "
+                               f"{json.dumps(row)}")
+        if matched == 0:
+            fail.add(name, f"assert '{label}' matched no rows "
+                           f"(where={json.dumps(where)})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("manifest", type=pathlib.Path)
+    parser.add_argument("--json-dir", default=".",
+                        help="directory holding (or receiving) the "
+                             "BENCH_*.json artifacts")
+    parser.add_argument("--bin-dir", default="build",
+                        help="directory holding the bench binaries")
+    parser.add_argument("--run", action="store_true",
+                        help="run each benchmark before validating")
+    parser.add_argument("--smoke", action="store_true",
+                        help="pass --smoke to the benchmarks (with --run)")
+    parser.add_argument("--timeout", type=int, default=1800,
+                        help="per-benchmark run timeout in seconds")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="BINARY",
+                        help="restrict run+validation to these binaries "
+                             "(coverage is still checked; repeatable)")
+    args = parser.parse_args()
+
+    manifest = json.loads(args.manifest.read_text())
+    fail = Failures()
+    check_coverage(args.manifest, manifest, fail)
+
+    entries = manifest["benchmarks"]
+    if args.only:
+        unknown = set(args.only) - {e["binary"] for e in entries}
+        for u in sorted(unknown):
+            fail.add("cli", f"--only {u}: no such manifest entry")
+        entries = [e for e in entries if e["binary"] in args.only]
+
+    for entry in entries:
+        if args.run:
+            run_benchmark(entry, args, fail)
+        validate_entry(entry, args, fail)
+
+    if fail:
+        print(f"validate_bench: {len(fail.messages)} failure(s)",
+              file=sys.stderr)
+        for msg in fail.messages:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print(f"validate_bench: OK -- {len(entries)} benchmark(s) validated, "
+          f"{len(manifest['benchmarks'])} declared in manifest")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
