@@ -20,7 +20,7 @@
 
 namespace {
 
-enum class Backend { kRbc, kMpi };
+using jsort::Backend;
 
 benchutil::Measurement MeasureSort(mpisim::Comm& world, Backend backend,
                                    int quota, jsort::SplitSchedule schedule,
@@ -30,14 +30,8 @@ benchutil::Measurement MeasureSort(mpisim::Comm& world, Backend backend,
   return benchutil::MeasureOnRanks(world, reps, [&] {
     auto input = jsort::GenerateInput(jsort::InputKind::kUniform,
                                       world.Rank(), world.Size(), quota, 7);
-    std::shared_ptr<jsort::Transport> tr;
-    if (backend == Backend::kRbc) {
-      rbc::Comm rw;
-      rbc::Create_RBC_Comm(world, &rw);
-      tr = jsort::MakeRbcTransport(rw);
-    } else {
-      tr = jsort::MakeMpiTransport(world);
-    }
+    std::shared_ptr<jsort::Transport> tr =
+        jsort::MakeTransport(backend, world);
     jsort::JQuickSort(tr, std::move(input), cfg);
   });
 }

@@ -1,0 +1,186 @@
+// Service-level throughput of the elastic multi-job sort scheduler
+// (src/sched) -- the paper's Figure 5/8 split-cost axis surfaced as
+// jobs/sec and tail latency.
+//
+// A Poisson-in-vtime stream of small mixed sort jobs (jquick /
+// samplesort / multilevel over several input kinds) is admitted onto
+// dynamically allocated contiguous rank ranges; every admission pays one
+// Transport::Split on the selected backend. With a small-job-dominated
+// mix the split cost is a first-order fraction of each job, so the
+// backend axis separates:
+//
+//  * rbc    -- Split_RBC_Comm is local and O(1): split-vtime share is
+//              exactly zero and throughput is the machine's ceiling;
+//  * mpi    -- blocking MPI_Comm_create_group per admission: every job
+//              pays the O(group) agreement, throughput drops and the
+//              latency tail grows;
+//  * icomm  -- the Section-VI proposal: local for the service's
+//              contiguous ranges, so it tracks rbc (its tiny O(1) local
+//              bookkeeping cost aside).
+//
+// Two ablation sections ride along: admission policy (fifo / sjf /
+// adaptive-width) and allocation strategy (first-fit / buddy), both on
+// the rbc backend.
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "harness.hpp"
+#include "mpisim/runtime.hpp"
+#include "sched/service.hpp"
+
+namespace {
+
+using benchutil::Field;
+using benchutil::Measurement;
+using jsort::Backend;
+using jsort::sched::AdmissionPolicy;
+using jsort::sched::JobSpec;
+using jsort::sched::JobStreamParams;
+using jsort::sched::MakeJobStream;
+using jsort::sched::RangeAllocator;
+using jsort::sched::ServiceConfig;
+using jsort::sched::ServiceMetrics;
+using jsort::sched::ServiceStats;
+using jsort::sched::SortService;
+using jsort::sched::Summarize;
+
+/// The small-job-dominated mix: most jobs want a handful of ranks and a
+/// few thousand elements, so communicator creation is a first-order cost.
+JobStreamParams SmallJobMix(int jobs, bool smoke) {
+  JobStreamParams p;
+  p.jobs = jobs;
+  // Tuned for visible queueing at p=64 (utilization just under the RBC
+  // ceiling): the MPI backend, whose jobs are longer, saturates.
+  p.mean_interarrival = smoke ? 160.0 : 40.0;
+  p.min_width = 1;
+  p.max_width = 8;
+  p.min_n = 128;
+  p.max_n = 2048;
+  return p;
+}
+
+struct ServiceRun {
+  ServiceMetrics metrics;
+  int waves = 0;
+  double wall_ms = 0.0;
+};
+
+ServiceRun RunOnce(int ranks, const std::vector<JobSpec>& jobs,
+                   ServiceConfig cfg) {
+  SortService service(ranks, jobs, std::move(cfg));
+  ServiceStats stats;
+  mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = ranks});
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.Run([&](mpisim::Comm& world) {
+    ServiceStats mine = service.Run(world);
+    if (world.Rank() == 0) stats = std::move(mine);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  ServiceRun run;
+  run.metrics = Summarize(stats);
+  run.waves = stats.waves;
+  run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return run;
+}
+
+std::vector<Field> MetricFields(const ServiceRun& run, const char* policy,
+                                const char* alloc, long long seed) {
+  const ServiceMetrics& m = run.metrics;
+  return {
+      Field{"jobs_per_sec", m.jobs_per_sec},
+      Field{"p50_latency", m.p50_latency},
+      Field{"p99_latency", m.p99_latency},
+      Field{"mean_queue_wait", m.mean_queue_wait},
+      Field{"split_share", m.split_share},
+      Field{"split_vtime_total", m.split_vtime_total},
+      Field{"jobs_done", static_cast<long long>(m.jobs - m.failed)},
+      Field{"waves", static_cast<long long>(run.waves)},
+      Field{"policy", policy},
+      Field{"alloc", alloc},
+      Field{"seed", seed},
+  };
+}
+
+void RunBackendMix(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int jobs = ctx.smoke() ? 24 : 240;
+  const auto stream =
+      MakeJobStream(ranks, SmallJobMix(jobs, ctx.smoke()),
+                    static_cast<std::uint64_t>(ctx.seed()));
+  for (const Backend backend :
+       {Backend::kRbc, Backend::kMpi, Backend::kIcomm}) {
+    ServiceConfig cfg;
+    cfg.backend = backend;
+    const ServiceRun run = RunOnce(ranks, stream, cfg);
+    ctx.Row("service_mix", jsort::BackendName(backend), ranks, jobs,
+            Measurement{run.wall_ms, run.metrics.makespan},
+            MetricFields(run, "fifo", "first_fit", ctx.seed()));
+  }
+}
+
+void RunPolicies(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int jobs = ctx.smoke() ? 24 : 160;
+  JobStreamParams params = SmallJobMix(jobs, ctx.smoke());
+  params.mean_interarrival /= 2.0;  // heavier load: policies only differ
+                                    // when the queue is non-trivial
+  const auto stream = MakeJobStream(
+      ranks, params, static_cast<std::uint64_t>(ctx.seed()));
+  for (const AdmissionPolicy policy :
+       {AdmissionPolicy::kFifo, AdmissionPolicy::kSjf,
+        AdmissionPolicy::kAdaptiveWidth}) {
+    ServiceConfig cfg;
+    cfg.scheduler.policy = policy;
+    const ServiceRun run = RunOnce(ranks, stream, cfg);
+    ctx.Row("service_policy", jsort::sched::PolicyName(policy), ranks, jobs,
+            Measurement{run.wall_ms, run.metrics.makespan},
+            MetricFields(run, jsort::sched::PolicyName(policy), "first_fit",
+                         ctx.seed()));
+  }
+}
+
+void RunAllocators(benchutil::BenchContext& ctx) {
+  const int ranks = ctx.smoke() ? 16 : 64;
+  const int jobs = ctx.smoke() ? 24 : 160;
+  const auto stream =
+      MakeJobStream(ranks, SmallJobMix(jobs, ctx.smoke()),
+                    static_cast<std::uint64_t>(ctx.seed()));
+  const struct {
+    RangeAllocator::Policy policy;
+    const char* name;
+  } kAllocs[] = {{RangeAllocator::Policy::kFirstFit, "first_fit"},
+                 {RangeAllocator::Policy::kBuddy, "buddy"}};
+  for (const auto& alloc : kAllocs) {
+    ServiceConfig cfg;
+    cfg.scheduler.allocation = alloc.policy;
+    const ServiceRun run = RunOnce(ranks, stream, cfg);
+    ctx.Row("service_alloc", alloc.name, ranks, jobs,
+            Measurement{run.wall_ms, run.metrics.makespan},
+            MetricFields(run, "fifo", alloc.name, ctx.seed()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::BenchSpec spec;
+  spec.binary = "bench_service";
+  spec.figure = "Figures 5/8 as a service (split cost -> throughput)";
+  spec.description =
+      "Elastic multi-job sort service: Poisson job stream over dynamically "
+      "allocated rank ranges, one communicator split per admission, "
+      "backend/policy/allocator sweeps";
+  spec.default_p = 64;
+  spec.default_reps = 1;  // the service run is vtime-deterministic per seed
+  spec.sections = {
+      {"mix", "small-job mix across the rbc/mpi/icomm split backends",
+       RunBackendMix},
+      {"policy", "fifo vs sjf vs adaptive-width admission (rbc backend)",
+       RunPolicies},
+      {"alloc", "first-fit vs buddy range allocation (rbc backend)",
+       RunAllocators},
+  };
+  return benchutil::BenchMain(argc, argv, spec);
+}

@@ -239,6 +239,7 @@ std::string BenchReport::RenderJson() const {
   out += "\"p\": " + std::to_string(meta_.p) + ", ";
   out += "\"reps\": " + std::to_string(meta_.reps) + ", ";
   out += std::string("\"smoke\": ") + (meta_.smoke ? "true" : "false") + ", ";
+  out += "\"seed\": " + std::to_string(meta_.seed) + ", ";
   out += "\"git_describe\": \"" + EscapeJson(meta_.git_describe) + "\", ";
   out += "\"schema_version\": 2},\n  \"rows\": [";
   bool first = true;
@@ -271,9 +272,10 @@ std::string BenchReport::RenderTable() const {
   std::string out;
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "# %s (%s) -- p=%d, reps=%d%s, git %s\n", meta_.binary.c_str(),
-                meta_.figure.c_str(), meta_.p, meta_.reps,
-                meta_.smoke ? ", SMOKE" : "", meta_.git_describe.c_str());
+                "# %s (%s) -- p=%d, reps=%d, seed=%lld%s, git %s\n",
+                meta_.binary.c_str(), meta_.figure.c_str(), meta_.p,
+                meta_.reps, meta_.seed, meta_.smoke ? ", SMOKE" : "",
+                meta_.git_describe.c_str());
   out += buf;
   std::string current_bench;
   for (const RowData& r : rows_) {
@@ -322,6 +324,15 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
         opt.error = "--reps requires a positive integer";
         return opt;
       }
+    } else if (arg == "--seed") {
+      const char* v = needs_value("--seed");
+      if (v == nullptr) return opt;
+      char* end = nullptr;
+      opt.seed = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || opt.seed < 0) {
+        opt.error = "--seed requires a non-negative integer";
+        return opt;
+      }
     } else if (arg == "--json") {
       const char* v = needs_value("--json");
       if (v == nullptr) return opt;
@@ -344,11 +355,13 @@ void PrintUsage(const BenchSpec& spec, std::FILE* to) {
   std::fprintf(to,
                "%s -- %s\n"
                "reproduces: %s\n\n"
-               "usage: %s [--smoke] [--reps N] [--json PATH] [--list] "
-               "[--filter SUBSTR]\n"
+               "usage: %s [--smoke] [--reps N] [--seed N] [--json PATH] "
+               "[--list] [--filter SUBSTR]\n"
                "  --smoke          shrink every sweep for CI (reps "
                "default to 1)\n"
                "  --reps N         override the repetition count\n"
+               "  --seed N         override the randomization seed "
+               "(recorded in the JSON meta)\n"
                "  --json PATH      write the JSON document to PATH "
                "instead of stdout\n"
                "  --list           list section names and exit\n"
@@ -383,10 +396,11 @@ int BenchMain(int argc, char** argv, const BenchSpec& spec) {
   meta.figure = spec.figure;
   meta.p = spec.default_p;
   meta.smoke = opt.smoke;
+  meta.seed = opt.seed >= 0 ? opt.seed : spec.default_seed;
   meta.git_describe = kGitDescribe;
   meta.reps = opt.reps > 0 ? opt.reps : (opt.smoke ? 1 : spec.default_reps);
   BenchReport report(meta);
-  BenchContext ctx(report, opt.smoke, opt.reps);
+  BenchContext ctx(report, opt.smoke, opt.reps, meta.seed);
 
   int matched = 0;
   for (const BenchSection& s : spec.sections) {

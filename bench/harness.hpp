@@ -5,7 +5,7 @@
 // and a list of named sections -- and hands control to BenchMain, which
 // owns everything that used to be duplicated per binary:
 //
-//  * CLI parsing: --smoke, --reps N, --json <path>, --list,
+//  * CLI parsing: --smoke, --reps N, --seed N, --json <path>, --list,
 //    --filter <substr>, --help;
 //  * row emission: every row a section declares goes exactly once to the
 //    human-readable table (stderr) and once to the machine-readable JSON
@@ -20,7 +20,8 @@
 //
 //   {
 //     "meta": {"binary": ..., "figure": ..., "p": ..., "reps": ...,
-//              "smoke": ..., "git_describe": ..., "schema_version": 2},
+//              "smoke": ..., "seed": ..., "git_describe": ...,
+//              "schema_version": 2},
 //     "rows": [
 //       {"bench": ..., "backend": ..., "p": ..., "count": ...,
 //        "vtime": ..., "wall_ms": ..., <per-bench extra fields>},
@@ -77,6 +78,7 @@ struct BenchMeta {
   int p = 0;                 // primary process count of the full sweep
   int reps = 0;              // effective default repetition count
   bool smoke = false;
+  long long seed = 0;        // effective randomization seed of the run
   std::string git_describe;  // configure-time `git describe` of the tree
 };
 
@@ -130,8 +132,9 @@ class BenchReport {
 /// Per-section view handed to the benchmark body.
 class BenchContext {
  public:
-  BenchContext(BenchReport& report, bool smoke, int cli_reps)
-      : report_(report), smoke_(smoke), cli_reps_(cli_reps) {}
+  BenchContext(BenchReport& report, bool smoke, int cli_reps,
+               long long seed = 0)
+      : report_(report), smoke_(smoke), cli_reps_(cli_reps), seed_(seed) {}
 
   bool smoke() const { return smoke_; }
 
@@ -141,6 +144,12 @@ class BenchContext {
     if (cli_reps_ > 0) return cli_reps_;
     return smoke_ ? 1 : full_default;
   }
+
+  /// Seed of this run: --seed N if given, else the spec's default_seed.
+  /// Randomized benchmarks (service arrivals, skew sweeps) must draw all
+  /// their randomness from it, so a run is reproducible from the command
+  /// line recorded in the JSON meta header.
+  long long seed() const { return seed_; }
 
   void Row(std::string bench, std::string backend, int p, long long count,
            const Measurement& m, std::vector<Field> extras = {}) {
@@ -152,6 +161,7 @@ class BenchContext {
   BenchReport& report_;
   bool smoke_;
   int cli_reps_;
+  long long seed_;
 };
 
 /// One named, filterable unit of a benchmark binary.
@@ -168,6 +178,7 @@ struct BenchSpec {
   std::string description;
   int default_p = 0;     // primary process count (meta only)
   int default_reps = 3;  // canonical full-run repetitions (meta + reps())
+  long long default_seed = 0x5EED;  // canonical randomization seed
   std::vector<BenchSection> sections;
 };
 
@@ -177,6 +188,7 @@ struct BenchOptions {
   bool list = false;
   bool help = false;
   int reps = 0;           // 0 = use defaults
+  long long seed = -1;    // < 0 = use the spec's default_seed
   std::string filter;     // substring match on section names
   std::string json_path;  // empty = stdout
   std::string error;      // non-empty = malformed command line

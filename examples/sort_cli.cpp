@@ -45,6 +45,12 @@ int main(int argc, char** argv) {
               static_cast<long long>(quota), algo.c_str(),
               jsort::InputKindName(kind), transport.c_str());
 
+  jsort::Backend backend = jsort::Backend::kRbc;
+  if (!jsort::ParseBackend(transport, &backend)) {
+    std::fprintf(stderr, "unknown transport '%s'\n", transport.c_str());
+    return 2;
+  }
+
   mpisim::Runtime rt(mpisim::Runtime::Options{.num_ranks = p});
   rt.Run([&](mpisim::Comm& world) {
     rbc::Comm rw;
@@ -52,14 +58,8 @@ int main(int argc, char** argv) {
     auto input = jsort::GenerateInput(kind, world.Rank(), p, quota, 4242);
     const auto before = jsort::GlobalFingerprint(input, rw);
 
-    std::shared_ptr<jsort::Transport> tr;
-    if (transport == "mpi") {
-      tr = jsort::MakeMpiTransport(world);
-    } else if (transport == "icomm") {
-      tr = jsort::MakeIcommTransport(world);
-    } else {
-      tr = jsort::MakeRbcTransport(rw);
-    }
+    std::shared_ptr<jsort::Transport> tr =
+        jsort::MakeTransport(backend, world);
 
     mpisim::Barrier(world);
     const double v0 = mpisim::Ctx().clock.Now();

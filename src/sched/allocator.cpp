@@ -1,0 +1,178 @@
+#include "sched/allocator.hpp"
+
+#include <algorithm>
+
+#include "mpisim/error.hpp"
+
+namespace jsort::sched {
+
+namespace {
+
+bool IsPow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int CeilLog2(int v) {
+  int lg = 0;
+  while ((1 << lg) < v) ++lg;
+  return lg;
+}
+
+}  // namespace
+
+RangeAllocator::RangeAllocator(int size, Policy policy)
+    : size_(size), policy_(policy), free_ranks_(size) {
+  if (size < 1) {
+    throw mpisim::UsageError("RangeAllocator: size must be positive");
+  }
+  if (policy_ == Policy::kBuddy) {
+    if (!IsPow2(size)) {
+      throw mpisim::UsageError(
+          "RangeAllocator: buddy policy needs a power-of-two size");
+    }
+    max_order_ = CeilLog2(size);
+    orders_.assign(static_cast<std::size_t>(max_order_) + 1, {});
+    orders_[static_cast<std::size_t>(max_order_)].insert(0);
+  } else {
+    free_.emplace(0, size);
+  }
+}
+
+std::optional<Block> RangeAllocator::Allocate(int width) {
+  if (width < 1) {
+    throw mpisim::UsageError("RangeAllocator: width must be positive");
+  }
+  if (width > size_) return std::nullopt;
+  return policy_ == Policy::kBuddy ? AllocateBuddy(width)
+                                   : AllocateFirstFit(width);
+}
+
+std::optional<Block> RangeAllocator::AllocateFirstFit(int width) {
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const auto [first, len] = *it;
+    if (len < width) continue;
+    free_.erase(it);
+    if (len > width) free_.emplace(first + width, len - width);
+    live_.emplace(first, width);
+    free_ranks_ -= width;
+    return Block{first, first + width - 1};
+  }
+  return std::nullopt;
+}
+
+std::optional<Block> RangeAllocator::AllocateBuddy(int width) {
+  const int want = CeilLog2(width);
+  // Smallest order with a free block, lowest start within it: fully
+  // deterministic.
+  int from = want;
+  while (from <= max_order_ &&
+         orders_[static_cast<std::size_t>(from)].empty()) {
+    ++from;
+  }
+  if (from > max_order_) return std::nullopt;
+  int start = *orders_[static_cast<std::size_t>(from)].begin();
+  orders_[static_cast<std::size_t>(from)].erase(start);
+  while (from > want) {
+    --from;
+    // Keep the low half, free the high half.
+    orders_[static_cast<std::size_t>(from)].insert(start + (1 << from));
+  }
+  const int len = 1 << want;
+  live_.emplace(start, len);
+  free_ranks_ -= len;
+  return Block{start, start + len - 1};
+}
+
+void RangeAllocator::Release(Block b) {
+  const auto it = live_.find(b.first);
+  if (it == live_.end() || it->second != b.Width()) {
+    throw mpisim::UsageError(
+        "RangeAllocator: Release of a block that is not live");
+  }
+  live_.erase(it);
+  free_ranks_ += b.Width();
+  if (policy_ == Policy::kBuddy) {
+    ReleaseBuddy(b);
+  } else {
+    ReleaseFirstFit(b);
+  }
+}
+
+void RangeAllocator::ReleaseFirstFit(Block b) {
+  int first = b.first;
+  int len = b.Width();
+  // Coalesce with the free successor, then the free predecessor.
+  auto next = free_.find(first + len);
+  if (next != free_.end()) {
+    len += next->second;
+    free_.erase(next);
+  }
+  auto prev = free_.lower_bound(first);
+  if (prev != free_.begin()) {
+    --prev;
+    if (prev->first + prev->second == first) {
+      first = prev->first;
+      len += prev->second;
+      free_.erase(prev);
+    }
+  }
+  free_.emplace(first, len);
+}
+
+void RangeAllocator::ReleaseBuddy(Block b) {
+  int start = b.first;
+  int order = CeilLog2(b.Width());
+  while (order < max_order_) {
+    const int buddy = start ^ (1 << order);
+    auto& peers = orders_[static_cast<std::size_t>(order)];
+    const auto it = peers.find(buddy);
+    if (it == peers.end()) break;
+    peers.erase(it);
+    start = std::min(start, buddy);
+    ++order;
+  }
+  orders_[static_cast<std::size_t>(order)].insert(start);
+}
+
+std::vector<Block> RangeAllocator::LiveBlocks() const {
+  std::vector<Block> out;
+  out.reserve(live_.size());
+  for (const auto& [first, len] : live_) {
+    out.push_back(Block{first, first + len - 1});
+  }
+  return out;
+}
+
+std::vector<Block> RangeAllocator::FreeRuns() const {
+  // Collect raw free blocks, then merge adjacency (buddy keeps aligned
+  // blocks separate that are contiguous in rank space).
+  std::vector<Block> raw;
+  if (policy_ == Policy::kBuddy) {
+    for (int o = 0; o <= max_order_; ++o) {
+      for (int start : orders_[static_cast<std::size_t>(o)]) {
+        raw.push_back(Block{start, start + (1 << o) - 1});
+      }
+    }
+    std::sort(raw.begin(), raw.end(),
+              [](const Block& a, const Block& b) { return a.first < b.first; });
+  } else {
+    for (const auto& [first, len] : free_) {
+      raw.push_back(Block{first, first + len - 1});
+    }
+  }
+  std::vector<Block> merged;
+  for (const Block& b : raw) {
+    if (!merged.empty() && merged.back().last + 1 == b.first) {
+      merged.back().last = b.last;
+    } else {
+      merged.push_back(b);
+    }
+  }
+  return merged;
+}
+
+int RangeAllocator::LargestFreeRun() const {
+  int best = 0;
+  for (const Block& b : FreeRuns()) best = std::max(best, b.Width());
+  return best;
+}
+
+}  // namespace jsort::sched

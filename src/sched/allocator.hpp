@@ -1,0 +1,82 @@
+// Deterministic contiguous rank-range allocator for the sort service.
+//
+// The service carves the world's [0, size) rank interval into per-job
+// contiguous ranges -- contiguity is what makes every job's communicator
+// creatable in O(1) by RBC (and by the Section-VI range fast path). Two
+// strategies:
+//
+//  * kFirstFit  -- lowest free interval that fits, carved exactly to the
+//                  requested width; released ranges coalesce with free
+//                  neighbors, so an idle machine always re-forms the full
+//                  interval.
+//  * kBuddy     -- classic power-of-two buddy blocks (aligned, width
+//                  rounded up to the next power of two). Internal
+//                  fragmentation in exchange for O(log size) worst-case
+//                  external fragmentation; requires a power-of-two size.
+//
+// Invariants (property-tested): live blocks never overlap, live + free
+// always partition [0, size), and releasing everything restores a single
+// free run of the full width.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace jsort::sched {
+
+/// A closed rank interval [first, last].
+struct Block {
+  int first = 0;
+  int last = -1;
+
+  int Width() const { return last - first + 1; }
+
+  friend bool operator==(const Block&, const Block&) = default;
+};
+
+class RangeAllocator {
+ public:
+  enum class Policy { kFirstFit, kBuddy };
+
+  explicit RangeAllocator(int size, Policy policy = Policy::kFirstFit);
+
+  /// Reserves a block of at least `width` ranks (exactly `width` under
+  /// first fit; the enclosing power-of-two buddy block under buddy).
+  /// Returns nullopt when nothing fits; never splits a job across
+  /// non-contiguous ranks.
+  std::optional<Block> Allocate(int width);
+
+  /// Returns a block obtained from Allocate. Throws UsageError if `b` is
+  /// not exactly a live block.
+  void Release(Block b);
+
+  int size() const { return size_; }
+  Policy policy() const { return policy_; }
+  int FreeRanks() const { return free_ranks_; }
+  bool AllFree() const { return free_ranks_ == size_; }
+  /// Longest contiguous run of free ranks (merging adjacent free blocks).
+  int LargestFreeRun() const;
+
+  /// Live blocks in ascending rank order (diagnostics and tests).
+  std::vector<Block> LiveBlocks() const;
+  /// Maximal free runs in ascending rank order.
+  std::vector<Block> FreeRuns() const;
+
+ private:
+  std::optional<Block> AllocateFirstFit(int width);
+  std::optional<Block> AllocateBuddy(int width);
+  void ReleaseFirstFit(Block b);
+  void ReleaseBuddy(Block b);
+
+  int size_;
+  Policy policy_;
+  int free_ranks_;
+  std::map<int, int> live_;            // first -> width
+  std::map<int, int> free_;            // first -> width (first fit)
+  std::vector<std::set<int>> orders_;  // buddy: free starts per order
+  int max_order_ = 0;
+};
+
+}  // namespace jsort::sched

@@ -1,0 +1,99 @@
+#include "sched/job.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "mpisim/error.hpp"
+
+namespace jsort::sched {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kJQuick: return "jquick";
+    case Algorithm::kSampleSort: return "samplesort";
+    case Algorithm::kMultilevel: return "multilevel";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Uniform double in [0, 1) from a raw 64-bit word (top 53 bits). Used
+/// instead of std::uniform_real_distribution / exponential_distribution,
+/// whose outputs are implementation-defined: committed BENCH_service.json
+/// snapshots must reproduce on every standard library.
+double UnitFrom(std::uint64_t word) {
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+int FloorLog2(std::int64_t v) {
+  int lg = 0;
+  while ((std::int64_t{1} << (lg + 1)) <= v) ++lg;
+  return lg;
+}
+
+int CeilLog2(std::int64_t v) {
+  int lg = 0;
+  while ((std::int64_t{1} << lg) < v) ++lg;
+  return lg;
+}
+
+}  // namespace
+
+std::vector<JobSpec> MakeJobStream(int ranks, const JobStreamParams& params,
+                                   std::uint64_t seed) {
+  if (ranks < 1 || params.jobs < 0 || params.mean_interarrival <= 0.0 ||
+      params.min_width < 1 || params.max_width < params.min_width ||
+      params.min_width > ranks ||
+      params.min_n < 1 || params.max_n < params.min_n ||
+      params.algorithms.empty() || params.inputs.empty()) {
+    throw mpisim::UsageError("MakeJobStream: malformed parameters");
+  }
+  std::mt19937_64 rng(seed ^ 0xC0FFEE5EEDull);
+  // Widths are powers of two within [min_width, min(max_width, ranks)]:
+  // round the lower bound up, the upper bound down, and reject an empty
+  // power-of-two range (e.g. min 5, max 7).
+  const int lo_w = CeilLog2(params.min_width);
+  const int hi_w = FloorLog2(std::min<std::int64_t>(params.max_width, ranks));
+  if (lo_w > hi_w) {
+    throw mpisim::UsageError(
+        "MakeJobStream: no power-of-two width in [min_width, "
+        "min(max_width, ranks)]");
+  }
+  const double lo_n = std::log2(static_cast<double>(params.min_n));
+  const double hi_n = std::log2(static_cast<double>(params.max_n));
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(params.jobs));
+  double vtime = 0.0;
+  for (int i = 0; i < params.jobs; ++i) {
+    JobSpec s;
+    s.id = i;
+    // Exponential interarrival gap by inversion; the guard keeps
+    // log(1 - u) finite.
+    const double u = std::min(UnitFrom(rng()), 0.999999999);
+    vtime += -params.mean_interarrival * std::log1p(-u);
+    s.arrival_vtime = vtime;
+    const int lg_w =
+        lo_w + static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                    hi_w - lo_w + 1));
+    s.width = 1 << lg_w;
+    const double lg_n = lo_n + UnitFrom(rng()) * (hi_n - lo_n);
+    s.n_total = std::max<std::int64_t>(
+        static_cast<std::int64_t>(std::llround(std::exp2(lg_n))), s.width);
+    s.algorithm = params.algorithms[static_cast<std::size_t>(
+        rng() % params.algorithms.size())];
+    s.input =
+        params.inputs[static_cast<std::size_t>(rng() % params.inputs.size())];
+    s.priority = params.max_priority > 0
+                     ? static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                            params.max_priority + 1))
+                     : 0;
+    s.seed = rng() | 1u;  // nonzero
+    jobs.push_back(s);
+  }
+  return jobs;
+}
+
+}  // namespace jsort::sched

@@ -1,0 +1,93 @@
+// jsort::sched -- elastic multi-job sort service over O(1) RBC range
+// splits.
+//
+// The paper's core claim (Figures 5/8) is that RBC communicators are
+// created locally in O(1) while native MPI_Comm_create_group pays a
+// blocking O(group) agreement. A single sort amortizes that difference
+// over one run; a *service* that admits a continuous stream of concurrent
+// sort jobs and carves the machine into per-job rank ranges pays it on
+// every admission -- turning the paper's split-cost microbenchmark axis
+// into service-level throughput and tail latency.
+//
+// This header holds the job vocabulary: what a client submits (JobSpec),
+// what the service reports back (JobResult), and the deterministic
+// Poisson-in-vtime stream generator the benchmarks and tests share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sort/workload.hpp"
+
+namespace jsort::sched {
+
+/// Which sorter a job runs on its allocated rank range.
+enum class Algorithm {
+  kJQuick,      // Janus Quicksort (Section VII), padded front end
+  kSampleSort,  // single-level sample sort
+  kMultilevel,  // multi-level sample sort (Section IV)
+};
+
+const char* AlgorithmName(Algorithm a);
+
+/// One sort job as submitted to the service. Arrival is a point in
+/// *virtual* time (the substrate's alpha-beta model clock); everything
+/// else parameterizes the sort itself. Deterministic: two streams with
+/// equal specs produce byte-identical service schedules per backend.
+struct JobSpec {
+  int id = 0;                  // dense, unique; index into results
+  InputKind input = InputKind::kUniform;
+  std::int64_t n_total = 0;    // global element count of this job
+  Algorithm algorithm = Algorithm::kJQuick;
+  int width = 1;               // requested ranks (policies may shrink it)
+  int priority = 0;            // higher admits first within a policy order
+  double arrival_vtime = 0.0;  // submission time on the model clock
+  std::uint64_t seed = 1;      // input generation + sorter sampling seed
+};
+
+/// Per-job outcome and timing, all on the virtual clock. Latency
+/// decomposes as: arrival -> (queue_wait) -> start -> (split_vtime)
+/// -> sorting -> completion; split_vtime is the communicator-creation
+/// share the paper's Figure 8 isolates (identically zero on RBC).
+struct JobResult {
+  JobSpec spec;
+  int first = -1;                // world-rank range the job ran on
+  int last = -1;
+  int width = 0;                 // effective width (== last - first + 1)
+  double start_vtime = 0.0;      // admission instant
+  double completion_vtime = 0.0; // max over members' clocks at the end
+  double queue_wait = 0.0;       // start - arrival
+  double split_vtime = 0.0;      // max member cost of Transport::Split
+  double sort_vtime = 0.0;       // max member cost of the sort itself
+  double latency = 0.0;          // completion - arrival (end to end)
+  std::int64_t elements = 0;     // total output elements over members
+  std::int64_t messages = 0;     // payload messages the sorter reported
+  bool ok = false;               // verification verdict (true if disabled)
+};
+
+/// Parameters of the deterministic job-stream generator: Poisson arrivals
+/// in virtual time, log-uniform widths (powers of two) and sizes, and a
+/// round-robin-free random mix of algorithms/input kinds. All draws come
+/// from a hand-rolled mixer over mt19937_64 raw words, so streams are
+/// identical across standard libraries and platforms.
+struct JobStreamParams {
+  int jobs = 64;
+  double mean_interarrival = 200.0;  // vtime units (exponential gaps)
+  int min_width = 1;                 // widths are powers of two in
+                                     //   [min_width, min(max_width, ranks)];
+  int max_width = 8;                 //   min_width must be <= ranks
+  std::int64_t min_n = 256;          // n_total log-uniform in
+  std::int64_t max_n = 4096;         //   [min_n, max_n], >= width
+  int max_priority = 0;              // priorities uniform in [0, max]
+  std::vector<Algorithm> algorithms = {
+      Algorithm::kJQuick, Algorithm::kSampleSort, Algorithm::kMultilevel};
+  std::vector<InputKind> inputs = {InputKind::kUniform, InputKind::kZipf,
+                                   InputKind::kSortedAsc};
+};
+
+/// Generates `params.jobs` specs for a machine of `ranks` ranks.
+/// Deterministic in (ranks, params, seed).
+std::vector<JobSpec> MakeJobStream(int ranks, const JobStreamParams& params,
+                                   std::uint64_t seed);
+
+}  // namespace jsort::sched

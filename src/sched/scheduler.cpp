@@ -1,0 +1,143 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "mpisim/error.hpp"
+
+namespace jsort::sched {
+
+const char* PolicyName(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kFifo: return "fifo";
+    case AdmissionPolicy::kSjf: return "sjf";
+    case AdmissionPolicy::kAdaptiveWidth: return "adaptive";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(int ranks, std::vector<JobSpec> jobs,
+                     SchedulerConfig cfg)
+    : ranks_(ranks),
+      cfg_(cfg),
+      alloc_(ranks, cfg.allocation),
+      jobs_(std::move(jobs)),
+      total_(static_cast<int>(jobs_.size())) {
+  for (int i = 0; i < total_; ++i) {
+    const JobSpec& s = jobs_[static_cast<std::size_t>(i)];
+    if (s.id != i) {
+      throw mpisim::UsageError("Scheduler: job ids must be dense 0..n-1");
+    }
+    if (s.width < 1 || s.n_total < 0 || s.arrival_vtime < 0.0) {
+      throw mpisim::UsageError("Scheduler: malformed job spec");
+    }
+    events_.push(Event{s.arrival_vtime, /*kind=*/1, s.id, Block{}});
+  }
+}
+
+int Scheduler::EffectiveWidth(const JobSpec& s) const {
+  int w = std::min(s.width, ranks_);
+  if (cfg_.policy != AdmissionPolicy::kAdaptiveWidth) return std::max(1, w);
+  const int qlen = static_cast<int>(queue_.size());
+  for (std::int64_t t = cfg_.adaptive_threshold; t > 0 && qlen >= t && w > 1;
+       t *= 2) {
+    w >>= 1;
+  }
+  return std::max(1, w);
+}
+
+void Scheduler::TryAdmit(double now, std::vector<Admission>* wave) {
+  bool progress = true;
+  while (progress && !queue_.empty()) {
+    progress = false;
+    // Policy order over the current queue. Recomputed after every
+    // admission: the queue length feeds the adaptive width.
+    std::vector<std::size_t> order(queue_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                const JobSpec& ja = jobs_[static_cast<std::size_t>(
+                    queue_[a])];
+                const JobSpec& jb = jobs_[static_cast<std::size_t>(
+                    queue_[b])];
+                const double ka = cfg_.policy == AdmissionPolicy::kSjf
+                                      ? static_cast<double>(ja.n_total)
+                                      : ja.arrival_vtime;
+                const double kb = cfg_.policy == AdmissionPolicy::kSjf
+                                      ? static_cast<double>(jb.n_total)
+                                      : jb.arrival_vtime;
+                return std::tuple(-ja.priority, ka, ja.id) <
+                       std::tuple(-jb.priority, kb, jb.id);
+              });
+    for (std::size_t idx : order) {
+      const JobSpec& s = jobs_[static_cast<std::size_t>(queue_[idx])];
+      const int width = EffectiveWidth(s);
+      const auto block = alloc_.Allocate(width);
+      if (!block) continue;  // greedy backfill: try the next queued job
+      Admission a;
+      a.spec = s;
+      a.first = block->first;
+      a.last = block->first + width - 1;
+      a.width = width;
+      a.start_vtime = now;
+      wave->push_back(a);
+      running_jobs_.emplace(s.id, Running{*block, now});
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+      progress = true;
+      break;  // queue changed; re-sort and rescan
+    }
+  }
+}
+
+std::vector<Admission> Scheduler::NextWave() {
+  if (running_ != 0) {
+    throw mpisim::UsageError(
+        "Scheduler::NextWave: previous wave still outstanding");
+  }
+  std::vector<Admission> wave;
+  while (!events_.empty()) {
+    const double now = events_.top().vtime;
+    // Conservative frontier: an event later than the wave's start could
+    // depend on a completion we have not measured yet.
+    if (!wave.empty() && now > wave.front().start_vtime) break;
+    // Apply *every* event of this instant before admitting, so a burst
+    // of simultaneous arrivals/releases is scheduled as one batch under
+    // the policy order (SJF must see the whole burst).
+    while (!events_.empty() && events_.top().vtime == now) {
+      const Event e = events_.top();
+      events_.pop();
+      if (e.kind == 0) {
+        alloc_.Release(e.block);
+      } else {
+        queue_.push_back(e.job);
+      }
+    }
+    TryAdmit(now, &wave);
+  }
+  if (wave.empty() && !queue_.empty()) {
+    // Unreachable with validated specs: with every range released, any
+    // width <= ranks fits.
+    throw mpisim::Error("Scheduler: queue stuck with no runnable job");
+  }
+  running_ = static_cast<int>(wave.size());
+  return wave;
+}
+
+void Scheduler::Complete(int job_id, double completion_vtime) {
+  const auto it = running_jobs_.find(job_id);
+  if (it == running_jobs_.end()) {
+    // Also catches a duplicate Complete for the same job: the entry is
+    // consumed below on the first call.
+    throw mpisim::UsageError("Scheduler::Complete: job is not running");
+  }
+  if (running_ <= 0) {
+    throw mpisim::UsageError("Scheduler::Complete: no outstanding wave");
+  }
+  const double release = std::max(completion_vtime, it->second.start_vtime);
+  events_.push(Event{release, /*kind=*/0, job_id, it->second.block});
+  running_jobs_.erase(it);
+  --running_;
+  ++completed_;
+}
+
+}  // namespace jsort::sched

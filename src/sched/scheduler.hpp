@@ -1,0 +1,123 @@
+// Admission scheduler for the elastic sort service: a *pure, replicated*
+// discrete-event state machine.
+//
+// Every rank of the service runs an identical Scheduler instance over the
+// identical job stream and feeds it the identical measured completion
+// times, so all ranks agree on every admission without any scheduling
+// traffic -- the service itself never pays coordination messages, only
+// the jobs do (which is the quantity under test: the per-job
+// communicator-creation cost).
+//
+// Event model. The scheduler advances through arrival and release events
+// in virtual-time order. Processing an event may admit queued jobs (at
+// the event's vtime) onto ranges from the RangeAllocator. NextWave()
+// stops at the *conservative frontier*: once a batch of jobs has been
+// admitted, no event later than the batch's start may be processed until
+// those jobs' completion times are known (Complete()), because an
+// earlier completion could free a range that a later event's admission
+// decision must see. Together with positive job durations this makes the
+// replicated loop an exact sequential discrete-event simulation of the
+// service; jobs admitted in one wave are vtime-concurrent with jobs
+// still running from earlier waves.
+//
+// Policies order the admission queue (ties broken by priority, then id):
+//  * kFifo          -- arrival order, greedy backfill (a job that does
+//                      not fit is skipped, later arrivals may still fit);
+//  * kSjf           -- shortest job first by total element count;
+//  * kAdaptiveWidth -- arrival order, but the allocated width halves for
+//                      every doubling of the queue beyond a threshold:
+//                      under load the service trades per-job speed for
+//                      more concurrent jobs.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/allocator.hpp"
+#include "sched/job.hpp"
+
+namespace jsort::sched {
+
+enum class AdmissionPolicy { kFifo, kSjf, kAdaptiveWidth };
+
+const char* PolicyName(AdmissionPolicy p);
+
+struct SchedulerConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kFifo;
+  RangeAllocator::Policy allocation = RangeAllocator::Policy::kFirstFit;
+  /// Queue length at which kAdaptiveWidth starts halving widths; each
+  /// further doubling of the queue halves again.
+  int adaptive_threshold = 4;
+};
+
+/// One admitted job: run it on world ranks [first, last] starting at
+/// start_vtime. width == last - first + 1 (may be smaller than the
+/// requested width under kAdaptiveWidth, and smaller than the reserved
+/// buddy block under buddy allocation).
+struct Admission {
+  JobSpec spec;
+  int first = 0;
+  int last = 0;
+  int width = 0;
+  double start_vtime = 0.0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(int ranks, std::vector<JobSpec> jobs, SchedulerConfig cfg = {});
+
+  /// Advances the event state to the conservative frontier and returns
+  /// the next batch of admissions (all sharing one start vtime). An empty
+  /// batch means every job has completed. Throws UsageError while jobs
+  /// from the previous wave are still outstanding.
+  std::vector<Admission> NextWave();
+
+  /// Reports the measured completion vtime of an admitted job; its range
+  /// becomes a release event at max(start, completion_vtime).
+  void Complete(int job_id, double completion_vtime);
+
+  bool Done() const { return completed_ == total_; }
+  int CompletedJobs() const { return completed_; }
+  int RunningJobs() const { return running_; }
+  int QueueLength() const { return static_cast<int>(queue_.size()); }
+  int ranks() const { return ranks_; }
+  const SchedulerConfig& config() const { return cfg_; }
+
+ private:
+  struct Event {
+    double vtime;
+    int kind;  // 0 = release, 1 = arrival: releases first at equal vtime
+    int job;
+    Block block;  // the range to release (kind == 0 only)
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.vtime != b.vtime) return a.vtime > b.vtime;
+      if (a.kind != b.kind) return a.kind > b.kind;
+      return a.job > b.job;
+    }
+  };
+
+  struct Running {
+    Block block;          // reserved allocator block (>= job width)
+    double start_vtime;
+  };
+
+  int EffectiveWidth(const JobSpec& s) const;
+  void TryAdmit(double now, std::vector<Admission>* wave);
+
+  int ranks_;
+  SchedulerConfig cfg_;
+  RangeAllocator alloc_;
+  std::vector<JobSpec> jobs_;          // by id
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events_;
+  std::vector<int> queue_;             // pending job ids
+  std::unordered_map<int, Running> running_jobs_;
+  int total_ = 0;
+  int running_ = 0;
+  int completed_ = 0;
+};
+
+}  // namespace jsort::sched

@@ -245,4 +245,39 @@ std::shared_ptr<Transport> MakeIcommTransport(mpisim::Comm comm) {
   return std::make_shared<IcommTransport>(std::move(comm));
 }
 
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kRbc: return "rbc";
+    case Backend::kMpi: return "mpi";
+    case Backend::kIcomm: return "icomm";
+  }
+  return "?";
+}
+
+bool ParseBackend(std::string_view name, Backend* out) {
+  for (Backend b : {Backend::kRbc, Backend::kMpi, Backend::kIcomm}) {
+    if (name == BackendName(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<Transport> MakeTransport(Backend backend,
+                                         mpisim::Comm& world) {
+  switch (backend) {
+    case Backend::kRbc: {
+      rbc::Comm rw;
+      rbc::Create_RBC_Comm(world, &rw);
+      return MakeRbcTransport(std::move(rw));
+    }
+    case Backend::kMpi:
+      return MakeMpiTransport(world);
+    case Backend::kIcomm:
+      return MakeIcommTransport(world);
+  }
+  throw mpisim::UsageError("MakeTransport: unknown backend");
+}
+
 }  // namespace jsort

@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "mpisim/mpisim.hpp"
@@ -119,5 +120,24 @@ std::shared_ptr<Transport> MakeMpiTransport(mpisim::Comm comm);
 
 /// Section-VI proposal transport (nonblocking tuple-context creation).
 std::shared_ptr<Transport> MakeIcommTransport(mpisim::Comm comm);
+
+/// The three split-mechanics backends, as one selectable axis. Every
+/// consumer that sweeps backends (benchmarks, the sort service, the
+/// examples) goes through this factory, so the set has a single
+/// definition.
+enum class Backend { kRbc, kMpi, kIcomm };
+
+/// Canonical lower-case backend label ("rbc", "mpi", "icomm"), as used in
+/// BENCH_*.json rows and CLI arguments.
+const char* BackendName(Backend b);
+
+/// Parses a BackendName label; returns false on unknown input.
+bool ParseBackend(std::string_view name, Backend* out);
+
+/// Builds the world transport of `backend` over `world` (for kRbc this
+/// creates the RBC communicator locally -- no communication on any
+/// backend). Per-job/per-task groups then come from Transport::Split.
+std::shared_ptr<Transport> MakeTransport(Backend backend,
+                                         mpisim::Comm& world);
 
 }  // namespace jsort

@@ -30,6 +30,7 @@ BenchMeta TestMeta() {
   meta.p = 8;
   meta.reps = 3;
   meta.smoke = false;
+  meta.seed = 24150;
   meta.git_describe = "v0-test";
   return meta;
 }
@@ -93,6 +94,7 @@ TEST(BenchReport, EmptyRunRendersValidSchemaDocument) {
   EXPECT_NE(json.find("\"p\": 8"), std::string::npos);
   EXPECT_NE(json.find("\"reps\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"smoke\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 24150"), std::string::npos);
   EXPECT_NE(json.find("\"git_describe\": \"v0-test\""), std::string::npos);
   EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
   EXPECT_NE(report.RenderTable().find("(no rows)"), std::string::npos);
@@ -147,14 +149,34 @@ TEST(BenchReport, NonFiniteMeasurementsRenderAsNull) {
 
 TEST(ParseBenchOptionsTest, ParsesEveryFlag) {
   const char* argv[] = {"bench", "--smoke", "--reps", "7", "--json",
-                        "/tmp/x.json", "--filter", "skew", "--list"};
-  auto opt = ParseBenchOptions(9, const_cast<char**>(argv));
+                        "/tmp/x.json", "--filter", "skew", "--list",
+                        "--seed", "424242"};
+  auto opt = ParseBenchOptions(11, const_cast<char**>(argv));
   EXPECT_TRUE(opt.error.empty());
   EXPECT_TRUE(opt.smoke);
   EXPECT_TRUE(opt.list);
   EXPECT_EQ(opt.reps, 7);
+  EXPECT_EQ(opt.seed, 424242);
   EXPECT_EQ(opt.json_path, "/tmp/x.json");
   EXPECT_EQ(opt.filter, "skew");
+}
+
+TEST(ParseBenchOptionsTest, SeedDefaultsToUnsetAndRejectsGarbage) {
+  {
+    const char* argv[] = {"bench"};
+    EXPECT_EQ(ParseBenchOptions(1, const_cast<char**>(argv)).seed, -1);
+  }
+  for (const char* bad : {"-3", "xyz", "12abc"}) {
+    const char* argv[] = {"bench", "--seed", bad};
+    EXPECT_FALSE(ParseBenchOptions(3, const_cast<char**>(argv)).error
+                     .empty())
+        << bad;
+  }
+  {
+    const char* argv[] = {"bench", "--seed"};
+    EXPECT_FALSE(ParseBenchOptions(2, const_cast<char**>(argv)).error
+                     .empty());
+  }
 }
 
 TEST(ParseBenchOptionsTest, RejectsMalformedInvocations) {
@@ -191,6 +213,13 @@ TEST(BenchContextTest, SmokeVsFullRepsResolution) {
     BenchContext forced(report, /*smoke=*/true, /*cli_reps=*/9);
     EXPECT_EQ(forced.reps(5), 9);  // explicit --reps beats smoke
   }
+}
+
+TEST(BenchContextTest, SeedIsVisibleToSections) {
+  BenchReport report(TestMeta());
+  BenchContext ctx(report, /*smoke=*/false, /*cli_reps=*/0,
+                   /*seed=*/987654321);
+  EXPECT_EQ(ctx.seed(), 987654321);
 }
 
 }  // namespace

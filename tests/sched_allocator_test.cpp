@@ -1,0 +1,149 @@
+// The service's contiguous rank-range allocator: first-fit carving with
+// neighbor coalescing, power-of-two buddy blocks with buddy merging, and
+// the property both must uphold -- live blocks never overlap, live+free
+// partition the machine, and releasing everything restores one free run
+// of the full width.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "mpisim/error.hpp"
+#include "sched/allocator.hpp"
+
+namespace {
+
+using jsort::sched::Block;
+using jsort::sched::RangeAllocator;
+using Policy = RangeAllocator::Policy;
+
+TEST(FirstFit, CarvesLowestFitAndCoalescesOnRelease) {
+  RangeAllocator alloc(16);
+  const Block a = *alloc.Allocate(4);
+  const Block b = *alloc.Allocate(4);
+  const Block c = *alloc.Allocate(4);
+  EXPECT_EQ(a, (Block{0, 3}));
+  EXPECT_EQ(b, (Block{4, 7}));
+  EXPECT_EQ(c, (Block{8, 11}));
+  EXPECT_EQ(alloc.FreeRanks(), 4);
+
+  alloc.Release(b);
+  // Lowest fit: a width-2 request lands in the released middle hole.
+  EXPECT_EQ(*alloc.Allocate(2), (Block{4, 5}));
+  alloc.Release(Block{4, 5});
+  alloc.Release(a);
+  // [0, 7] must have coalesced across the two releases.
+  EXPECT_EQ(alloc.LargestFreeRun(), 8);
+  EXPECT_EQ(*alloc.Allocate(8), (Block{0, 7}));
+  alloc.Release(Block{0, 7});
+  alloc.Release(c);
+  EXPECT_TRUE(alloc.AllFree());
+  EXPECT_EQ(alloc.LargestFreeRun(), 16);
+}
+
+TEST(FirstFit, RefusesWhatCannotFitWithoutSplitting) {
+  RangeAllocator alloc(8);
+  const Block a = *alloc.Allocate(3);
+  ASSERT_TRUE(alloc.Allocate(2).has_value());  // [3,4]
+  alloc.Release(a);
+  // 6 ranks are free but the largest contiguous run is 3 -- a width-4
+  // job must not be split across the hole.
+  EXPECT_EQ(alloc.FreeRanks(), 6);
+  EXPECT_EQ(alloc.LargestFreeRun(), 3);
+  EXPECT_FALSE(alloc.Allocate(4).has_value());
+}
+
+TEST(Buddy, AlignsRoundsAndMerges) {
+  RangeAllocator alloc(16, Policy::kBuddy);
+  // Width 3 rounds up to a 4-block; blocks are size-aligned.
+  const Block a = *alloc.Allocate(3);
+  EXPECT_EQ(a, (Block{0, 3}));
+  const Block b = *alloc.Allocate(1);
+  EXPECT_EQ(b, (Block{4, 4}));
+  const Block c = *alloc.Allocate(5);  // rounds to 8, aligned at 8
+  EXPECT_EQ(c, (Block{8, 15}));
+  EXPECT_FALSE(alloc.Allocate(4).has_value());  // only [5..7] fragments left
+  alloc.Release(a);
+  alloc.Release(b);
+  alloc.Release(c);
+  EXPECT_TRUE(alloc.AllFree());
+  // Buddy merging must have restored the full 16-block.
+  EXPECT_EQ(*alloc.Allocate(16), (Block{0, 15}));
+}
+
+TEST(Buddy, RequiresPowerOfTwoSize) {
+  EXPECT_THROW(RangeAllocator(12, Policy::kBuddy), mpisim::UsageError);
+}
+
+TEST(RangeAllocatorApi, RejectsMisuse) {
+  RangeAllocator alloc(8);
+  EXPECT_THROW(alloc.Allocate(0), mpisim::UsageError);
+  EXPECT_FALSE(alloc.Allocate(9).has_value());
+  EXPECT_THROW(alloc.Release(Block{0, 3}), mpisim::UsageError);  // not live
+  const Block a = *alloc.Allocate(4);
+  EXPECT_THROW(alloc.Release(Block{0, 2}), mpisim::UsageError);  // wrong width
+  alloc.Release(a);
+  EXPECT_THROW(alloc.Release(a), mpisim::UsageError);  // double free
+}
+
+class AllocatorProperty : public ::testing::TestWithParam<Policy> {};
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllocatorProperty,
+                         ::testing::Values(Policy::kFirstFit,
+                                           Policy::kBuddy));
+
+// Randomized allocate/release storm: after every step live blocks are
+// disjoint, in bounds, and live+free account for every rank; draining
+// the live set coalesces back to the full range.
+TEST_P(AllocatorProperty, NeverOverlapsAndAlwaysCoalescesBack) {
+  constexpr int kSize = 64;
+  RangeAllocator alloc(kSize, GetParam());
+  std::mt19937_64 rng(20260731);
+  std::vector<Block> live;
+  for (int step = 0; step < 2000; ++step) {
+    const bool do_alloc = live.empty() || (rng() % 2 == 0);
+    if (do_alloc) {
+      const int width = 1 + static_cast<int>(rng() % 9);
+      if (auto b = alloc.Allocate(width)) {
+        EXPECT_GE(b->first, 0);
+        EXPECT_LT(b->last, kSize);
+        EXPECT_GE(b->Width(), width);
+        if (GetParam() == Policy::kBuddy) {
+          EXPECT_EQ(b->Width() & (b->Width() - 1), 0);
+          EXPECT_EQ(b->first % b->Width(), 0);
+        } else {
+          EXPECT_EQ(b->Width(), width);
+        }
+        live.push_back(*b);
+      }
+    } else {
+      const std::size_t pick = rng() % live.size();
+      alloc.Release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    // Invariants after every step.
+    std::vector<Block> sorted = live;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Block& x, const Block& y) {
+                return x.first < y.first;
+              });
+    int live_ranks = 0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      live_ranks += sorted[i].Width();
+      if (i > 0) {
+        ASSERT_GT(sorted[i].first, sorted[i - 1].last)
+            << "overlapping live blocks at step " << step;
+      }
+    }
+    ASSERT_EQ(alloc.FreeRanks(), kSize - live_ranks);
+    ASSERT_EQ(alloc.LiveBlocks().size(), live.size());
+  }
+  for (const Block& b : live) alloc.Release(b);
+  EXPECT_TRUE(alloc.AllFree());
+  EXPECT_EQ(alloc.LargestFreeRun(), kSize);
+  ASSERT_EQ(alloc.FreeRuns().size(), 1u);
+  EXPECT_EQ(alloc.FreeRuns()[0], (Block{0, kSize - 1}));
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// The pure replicated admission scheduler, driven with synthetic
+// completion times (no ranks, no runtime): policy orderings, the
+// adaptive-width shrink, the conservative event frontier that makes the
+// replicated loop an exact discrete-event simulation, and determinism in
+// (policy, seed).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "mpisim/error.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using jsort::sched::Admission;
+using jsort::sched::AdmissionPolicy;
+using jsort::sched::Algorithm;
+using jsort::sched::JobSpec;
+using jsort::sched::JobStreamParams;
+using jsort::sched::MakeJobStream;
+using jsort::sched::Scheduler;
+using jsort::sched::SchedulerConfig;
+
+JobSpec Job(int id, double arrival, int width, std::int64_t n,
+            int priority = 0) {
+  JobSpec s;
+  s.id = id;
+  s.arrival_vtime = arrival;
+  s.width = width;
+  s.n_total = n;
+  s.priority = priority;
+  return s;
+}
+
+/// Runs the scheduler to completion with a synthetic duration model and
+/// returns the admission trace as "id@start[first..last]" strings.
+std::vector<std::string> Trace(Scheduler& sched,
+                               double (*duration)(const JobSpec&)) {
+  std::vector<std::string> trace;
+  while (true) {
+    const auto wave = sched.NextWave();
+    if (wave.empty()) break;
+    for (const Admission& a : wave) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%d@%g[%d..%d]", a.spec.id,
+                    a.start_vtime, a.first, a.last);
+      trace.emplace_back(buf);
+      sched.Complete(a.spec.id, a.start_vtime + duration(a.spec));
+    }
+  }
+  return trace;
+}
+
+double UnitDuration(const JobSpec&) { return 10.0; }
+double SizeDuration(const JobSpec& s) {
+  return 1.0 + static_cast<double>(s.n_total) * 0.01;
+}
+
+TEST(Fifo, AdmitsInArrivalOrderWithBackfill) {
+  // Machine of 4; job 0 takes everything; 1 (wide) then 2 (narrow)
+  // arrive while 0 runs. FIFO admits 1 first when the machine frees.
+  std::vector<JobSpec> jobs = {Job(0, 0.0, 4, 100), Job(1, 1.0, 4, 100),
+                               Job(2, 2.0, 1, 100)};
+  Scheduler sched(4, jobs, {});
+  auto trace = Trace(sched, UnitDuration);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], "0@0[0..3]");
+  EXPECT_EQ(trace[1], "1@10[0..3]");
+  EXPECT_EQ(trace[2], "2@20[0..0]");
+  EXPECT_TRUE(sched.Done());
+}
+
+TEST(Fifo, BackfillsAroundAJobThatDoesNotFit) {
+  // Width-3 job 1 cannot fit next to running width-2 job 0 on 4 ranks,
+  // but the later width-2 job 2 can: greedy backfill admits it.
+  std::vector<JobSpec> jobs = {Job(0, 0.0, 2, 100), Job(1, 1.0, 3, 100),
+                               Job(2, 2.0, 2, 100)};
+  Scheduler sched(4, jobs, {});
+  auto trace = Trace(sched, UnitDuration);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], "0@0[0..1]");
+  EXPECT_EQ(trace[1], "2@2[2..3]");  // backfilled at its arrival
+  // Job 1 needs [0..2]: ranks 0..1 free at 10, but rank 2 only at 12.
+  EXPECT_EQ(trace[2], "1@12[0..2]");
+}
+
+TEST(Sjf, PrefersShortJobsAtContention) {
+  // All three arrive together on a machine only one fits on: SJF runs
+  // them smallest-first regardless of id order.
+  std::vector<JobSpec> jobs = {Job(0, 0.0, 2, 900), Job(1, 0.0, 2, 100),
+                               Job(2, 0.0, 2, 500)};
+  SchedulerConfig cfg;
+  cfg.policy = AdmissionPolicy::kSjf;
+  Scheduler sched(2, jobs, cfg);
+  auto trace = Trace(sched, SizeDuration);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].substr(0, 2), "1@");
+  EXPECT_EQ(trace[1].substr(0, 2), "2@");
+  EXPECT_EQ(trace[2].substr(0, 2), "0@");
+}
+
+TEST(Priority, DominatesEveryPolicyOrder) {
+  std::vector<JobSpec> jobs = {Job(0, 0.0, 2, 100, /*priority=*/0),
+                               Job(1, 0.0, 2, 900, /*priority=*/5),
+                               Job(2, 0.0, 2, 10, /*priority=*/0)};
+  SchedulerConfig cfg;
+  cfg.policy = AdmissionPolicy::kSjf;
+  Scheduler sched(2, jobs, cfg);
+  auto trace = Trace(sched, SizeDuration);
+  ASSERT_EQ(trace.size(), 3u);
+  // Priority 5 beats the shorter jobs; then SJF order among the rest.
+  EXPECT_EQ(trace[0].substr(0, 2), "1@");
+  EXPECT_EQ(trace[1].substr(0, 2), "2@");
+  EXPECT_EQ(trace[2].substr(0, 2), "0@");
+}
+
+TEST(AdaptiveWidth, ShrinksUnderLoadOnly) {
+  // Eight width-8 jobs arrive at once on 8 ranks with threshold 4: a
+  // long queue halves widths so several run concurrently.
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(Job(i, 0.0, 8, 100));
+  SchedulerConfig cfg;
+  cfg.policy = AdmissionPolicy::kAdaptiveWidth;
+  cfg.adaptive_threshold = 4;
+  Scheduler sched(8, jobs, cfg);
+  const auto first_wave = sched.NextWave();
+  ASSERT_FALSE(first_wave.empty());
+  EXPECT_GT(first_wave.size(), 1u);  // shrunk widths -> concurrency
+  for (const Admission& a : first_wave) {
+    EXPECT_LT(a.width, 8);
+    EXPECT_EQ(a.last - a.first + 1, a.width);
+  }
+  for (const Admission& a : first_wave) {
+    sched.Complete(a.spec.id, a.start_vtime + 10.0);
+  }
+  // Drain; an uncontended trailing job would keep its full width.
+  while (true) {
+    const auto wave = sched.NextWave();
+    if (wave.empty()) break;
+    for (const Admission& a : wave) {
+      sched.Complete(a.spec.id, a.start_vtime + 10.0);
+    }
+  }
+  EXPECT_TRUE(sched.Done());
+
+  std::vector<JobSpec> solo = {Job(0, 0.0, 8, 100)};
+  Scheduler unloaded(8, solo, cfg);
+  const auto wave = unloaded.NextWave();
+  ASSERT_EQ(wave.size(), 1u);
+  EXPECT_EQ(wave[0].width, 8);  // empty queue: no shrink
+}
+
+TEST(ConservativeFrontier, LaterArrivalsWaitForMeasuredCompletions) {
+  // Job 0 occupies [0..1] from t=0; job 1 arrives at t=5 and needs the
+  // other two ranks. The frontier defers 1's admission until 0's
+  // completion is *measured*, but its start vtime is still its arrival
+  // -- the replicated loop reproduces the ideal event-driven timeline.
+  std::vector<JobSpec> jobs = {Job(0, 0.0, 2, 100), Job(1, 5.0, 2, 100)};
+  Scheduler sched(4, jobs, {});
+  const auto w0 = sched.NextWave();
+  ASSERT_EQ(w0.size(), 1u);
+  EXPECT_EQ(w0[0].spec.id, 0);
+  sched.Complete(0, 42.0);
+  const auto w1 = sched.NextWave();
+  ASSERT_EQ(w1.size(), 1u);
+  EXPECT_EQ(w1[0].spec.id, 1);
+  EXPECT_DOUBLE_EQ(w1[0].start_vtime, 5.0);  // not 42: ranks 2..3 were free
+  EXPECT_EQ(w1[0].first, 2);
+  sched.Complete(1, 50.0);
+  EXPECT_TRUE(sched.NextWave().empty());
+  EXPECT_TRUE(sched.Done());
+}
+
+TEST(JobStream, RejectsWidthsNoRankCountCanSatisfy) {
+  JobStreamParams params;
+  params.min_width = 8;
+  params.max_width = 8;
+  EXPECT_NO_THROW(MakeJobStream(8, params, 1));
+  EXPECT_THROW(MakeJobStream(4, params, 1), mpisim::UsageError);
+}
+
+TEST(JobStream, WidthsNeverUndershootAPowerOfTwoMinimum) {
+  JobStreamParams params;
+  params.jobs = 32;
+  params.min_width = 3;  // rounds *up* to 4, never down to 2
+  params.max_width = 8;
+  for (const JobSpec& s : MakeJobStream(16, params, 2)) {
+    EXPECT_GE(s.width, 4);
+    EXPECT_LE(s.width, 8);
+  }
+  // An empty power-of-two range is rejected rather than silently bent.
+  params.min_width = 5;
+  params.max_width = 7;
+  EXPECT_THROW(MakeJobStream(16, params, 2), mpisim::UsageError);
+}
+
+TEST(SchedulerApi, RejectsMisuse) {
+  std::vector<JobSpec> jobs = {Job(0, 0.0, 2, 100), Job(1, 0.0, 2, 100)};
+  Scheduler sched(2, jobs, {});
+  EXPECT_THROW(sched.Complete(0, 1.0), mpisim::UsageError);  // nothing runs
+  const auto wave = sched.NextWave();
+  ASSERT_EQ(wave.size(), 1u);
+  EXPECT_THROW(sched.NextWave(), mpisim::UsageError);  // wave outstanding
+  EXPECT_THROW(sched.Complete(7, 1.0), mpisim::UsageError);  // unknown job
+  sched.Complete(wave[0].spec.id, 5.0);
+  EXPECT_THROW(sched.Complete(wave[0].spec.id, 5.0),  // duplicate
+               mpisim::UsageError);
+  std::vector<JobSpec> bad = {Job(3, 0.0, 2, 100)};
+  EXPECT_THROW(Scheduler(2, bad, {}), mpisim::UsageError);  // non-dense ids
+}
+
+class PolicySweep : public ::testing::TestWithParam<AdmissionPolicy> {};
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(AdmissionPolicy::kFifo,
+                                           AdmissionPolicy::kSjf,
+                                           AdmissionPolicy::kAdaptiveWidth));
+
+// Determinism in (policy, seed): identical streams and identical
+// synthetic durations produce identical traces; a different seed
+// produces a different stream.
+TEST_P(PolicySweep, DeterministicInPolicyAndSeed) {
+  JobStreamParams params;
+  params.jobs = 40;
+  params.mean_interarrival = 15.0;
+  params.max_width = 8;
+  const auto stream_a = MakeJobStream(16, params, /*seed=*/7);
+  const auto stream_b = MakeJobStream(16, params, /*seed=*/7);
+  const auto stream_c = MakeJobStream(16, params, /*seed=*/8);
+  ASSERT_EQ(stream_a.size(), 40u);
+
+  SchedulerConfig cfg;
+  cfg.policy = GetParam();
+  Scheduler s1(16, stream_a, cfg);
+  Scheduler s2(16, stream_b, cfg);
+  const auto t1 = Trace(s1, SizeDuration);
+  const auto t2 = Trace(s2, SizeDuration);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1.size(), 40u);
+  EXPECT_TRUE(s1.Done());
+
+  bool streams_differ = false;
+  for (std::size_t i = 0; i < stream_a.size(); ++i) {
+    if (stream_a[i].n_total != stream_c[i].n_total ||
+        stream_a[i].arrival_vtime != stream_c[i].arrival_vtime) {
+      streams_differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(streams_differ);
+}
+
+// Every admission ever handed out uses a range inside the machine, and
+// ranges of jobs running at overlapping virtual times never overlap.
+TEST_P(PolicySweep, ConcurrentAdmissionsNeverShareRanks) {
+  JobStreamParams params;
+  params.jobs = 60;
+  params.mean_interarrival = 5.0;  // heavy load -> deep queue
+  params.max_width = 8;
+  const auto stream = MakeJobStream(16, params, /*seed=*/11);
+  SchedulerConfig cfg;
+  cfg.policy = GetParam();
+  Scheduler sched(16, stream, cfg);
+  struct Interval {
+    int first, last;
+    double start, end;
+  };
+  std::vector<Interval> done;
+  while (true) {
+    const auto wave = sched.NextWave();
+    if (wave.empty()) break;
+    for (const Admission& a : wave) {
+      EXPECT_GE(a.first, 0);
+      EXPECT_LT(a.last, 16);
+      EXPECT_GE(a.start_vtime, a.spec.arrival_vtime);
+      const double end = a.start_vtime + SizeDuration(a.spec);
+      for (const Interval& o : done) {
+        const bool ranks_overlap = a.first <= o.last && o.first <= a.last;
+        const bool time_overlap = a.start_vtime < o.end && o.start < end;
+        EXPECT_FALSE(ranks_overlap && time_overlap)
+            << "job " << a.spec.id << " overlaps a concurrent job";
+      }
+      done.push_back({a.first, a.last, a.start_vtime, end});
+      sched.Complete(a.spec.id, end);
+    }
+  }
+  EXPECT_EQ(done.size(), 60u);
+}
+
+}  // namespace

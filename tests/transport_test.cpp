@@ -11,24 +11,22 @@
 
 namespace {
 
+using jsort::Backend;
 using jsort::Transport;
 using testutil::RunRanks;
 
-enum class Backend { kRbc, kMpi, kIcomm };
-
 std::shared_ptr<Transport> Make(Backend b, mpisim::Comm& world) {
-  switch (b) {
-    case Backend::kRbc: {
-      rbc::Comm rw;
-      rbc::Create_RBC_Comm(world, &rw);
-      return jsort::MakeRbcTransport(rw);
-    }
-    case Backend::kMpi:
-      return jsort::MakeMpiTransport(world);
-    case Backend::kIcomm:
-      return jsort::MakeIcommTransport(world);
+  return jsort::MakeTransport(b, world);
+}
+
+TEST(BackendFactory, LabelsRoundTripThroughParse) {
+  for (Backend b : {Backend::kRbc, Backend::kMpi, Backend::kIcomm}) {
+    Backend parsed;
+    ASSERT_TRUE(jsort::ParseBackend(jsort::BackendName(b), &parsed));
+    EXPECT_EQ(parsed, b);
   }
-  return nullptr;
+  Backend out;
+  EXPECT_FALSE(jsort::ParseBackend("frobnicate", &out));
 }
 
 class TransportSweep : public ::testing::TestWithParam<Backend> {};

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Perf-trajectory report over BENCH_*.json snapshots.
+
+Collects schema-v2 benchmark documents from the given files/directories,
+groups them into snapshots keyed on their `git_describe` metadata (plus a
+`+smoke` marker, since smoke sweeps are not comparable to full runs), and
+emits a markdown table of the primary metric per benchmark row across
+snapshots -- the committed full-run snapshots at the repository root make
+every point attributable to the commit that produced it.
+
+Rows are keyed on (binary, bench, backend, p, count) plus an occurrence
+index: several benchmarks legitimately emit multiple rows per core key
+(e.g. fig7's bcasts=1 vs bcasts=50, sensitivity's alpha/beta grid), and
+binaries emit rows in a deterministic order, so the i-th occurrence in
+one snapshot corresponds to the i-th in another. The delta column
+compares the last snapshot against the first wherever both have the row.
+
+Usage:
+    bench_report.py [--out report.md] [--metric vtime] PATH [PATH ...]
+    # e.g. committed snapshots vs a fresh CI run:
+    bench_report.py --out report.md . bench-json
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+ROW_KEY = ("binary", "bench", "backend", "p", "count")
+
+
+def collect_files(paths):
+    files = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"bench_report: no such path: {p}", file=sys.stderr)
+            return None
+    return files
+
+
+def snapshot_label(meta):
+    label = meta.get("git_describe", "?") or "?"
+    if meta.get("smoke"):
+        label += "+smoke"
+    return label
+
+
+def load_snapshots(files, metric):
+    """-> (ordered snapshot labels, {row_key: {label: value}})."""
+    labels = []
+    table = {}
+    for path in files:
+        try:
+            doc = json.loads(path.read_text())
+            meta = doc["meta"]
+            rows = doc["rows"]
+        except (json.JSONDecodeError, KeyError, TypeError) as e:
+            print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
+            continue
+        label = snapshot_label(meta)
+        if label not in labels:
+            labels.append(label)
+        seen = {}  # core key -> occurrences within this (file, label)
+        for row in rows:
+            if not isinstance(row, dict) or metric not in row:
+                continue
+            core = (meta.get("binary", path.stem),) + tuple(
+                row.get(k) for k in ROW_KEY[1:])
+            index = seen.get(core, 0)
+            seen[core] = index + 1
+            table.setdefault(core + (index,), {})[label] = row[metric]
+    return labels, table
+
+
+def fmt(v):
+    if v is None:
+        return ""
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def render(labels, table, metric):
+    lines = [
+        f"# Benchmark trajectory ({metric})",
+        "",
+        f"{len(table)} row(s) across {len(labels)} snapshot(s): "
+        + ", ".join(f"`{s}`" for s in labels),
+        "",
+    ]
+    header = ["binary", "bench", "backend", "p", "count", "#"] + [
+        f"`{s}`" for s in labels] + ["delta"]
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    improved = regressed = 0
+    for key in sorted(table):
+        values = table[key]
+        cells = [fmt(k) for k in key] + [fmt(values.get(s)) for s in labels]
+        delta = ""
+        a = values.get(labels[0])
+        b = values.get(labels[-1])
+        if len(labels) > 1 and a is not None and b is not None \
+                and isinstance(a, (int, float)) \
+                and isinstance(b, (int, float)) and a > 0:
+            pct = 100.0 * (b - a) / a
+            delta = f"{pct:+.1f}%"
+            if pct <= -2.0:
+                improved += 1
+            elif pct >= 2.0:
+                regressed += 1
+        cells.append(delta)
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    if len(labels) > 1:
+        lines.append(
+            f"Last vs first snapshot (rows present in both): "
+            f"{improved} improved, {regressed} regressed "
+            f"(threshold 2%, lower {metric} is better).")
+    else:
+        lines.append("Only one snapshot group found; add a second "
+                     "(different `git describe` or smoke/full mode) to "
+                     "get deltas.")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+",
+                        help="BENCH_*.json files or directories of them")
+    parser.add_argument("--metric", default="vtime",
+                        help="row metric to tabulate (default: vtime)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="write the markdown here (default: stdout)")
+    args = parser.parse_args()
+
+    files = collect_files(args.paths)
+    if files is None:
+        return 2
+    if not files:
+        print("bench_report: no BENCH_*.json inputs found", file=sys.stderr)
+        return 2
+    labels, table = load_snapshots(files, args.metric)
+    if not table:
+        print("bench_report: no rows with the requested metric",
+              file=sys.stderr)
+        return 2
+    text = render(labels, table, args.metric)
+    if args.out is None:
+        sys.stdout.write(text)
+    else:
+        args.out.write_text(text)
+        print(f"bench_report: wrote {args.out} ({len(table)} rows, "
+              f"{len(labels)} snapshots)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

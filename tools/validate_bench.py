@@ -10,8 +10,26 @@ shared schema-v2 document layout:
 
 and against the manifest's per-bench contract: the set of emitted bench
 names, the per-bench required extra keys, the per-bench backend sets, and
-the per-row invariant assertions (e.g. segmented exchanges must bound
-every wire message by segment_bytes).
+the invariant assertions. Two assertion forms:
+
+  * per-row (default): the expression is evaluated once per matching row
+    with the row's fields as variables (e.g. segmented exchanges must
+    bound every wire message by segment_bytes);
+  * cross-row ("cross": true): the expression is evaluated once over the
+    whole matched row *set*, with helpers for series comparisons across
+    rows -- this is how paper shapes spanning a sweep are encoded (fig7's
+    ratio decay toward 1, fig5's CGslow >> CGfast, the service gate's
+    rbc-vs-mpi throughput ordering). Available helpers:
+
+        series(key, order_by='count', **filters)  ordered value list
+        first(key, ...) / last(key, ...)          endpoints of a series
+        minof(key, **filters) / maxof(key, ...)   extrema over rows
+        nonincreasing(xs, tol=0) / nondecreasing(xs, tol=0)
+        rows                                      the matched row dicts
+
+    plus the usual all/any/len/min/max/sum/abs/sorted/zip/round. The
+    `where` filter selects the row set; series filters (keyword args)
+    refine it further per call.
 
 The manifest is also a coverage gate: every bench/bench_*.cpp source must
 have a manifest entry and vice versa, so adding a benchmark without
@@ -124,6 +142,47 @@ def eval_assertion(expr, row):
     return eval(expr, {"__builtins__": {}}, dict(row))  # noqa: S307
 
 
+def eval_cross_assertion(expr, rows):
+    """Evaluates a cross-row expression once over the matched row set."""
+
+    def pick(filters):
+        return [r for r in rows
+                if all(r.get(k) == v for k, v in filters.items())]
+
+    def series(key, order_by="count", **filters):
+        sel = sorted(pick(filters), key=lambda r: r.get(order_by, 0))
+        return [r[key] for r in sel]
+
+    def first(key, order_by="count", **filters):
+        return series(key, order_by, **filters)[0]
+
+    def last(key, order_by="count", **filters):
+        return series(key, order_by, **filters)[-1]
+
+    def minof(key, **filters):
+        return min(r[key] for r in pick(filters))
+
+    def maxof(key, **filters):
+        return max(r[key] for r in pick(filters))
+
+    def nonincreasing(xs, tol=0.0):
+        return all(a + tol >= b for a, b in zip(xs, xs[1:]))
+
+    def nondecreasing(xs, tol=0.0):
+        return all(a <= b + tol for a, b in zip(xs, xs[1:]))
+
+    env = {
+        "rows": [dict(r) for r in rows],
+        "series": series, "first": first, "last": last,
+        "minof": minof, "maxof": maxof,
+        "nonincreasing": nonincreasing, "nondecreasing": nondecreasing,
+        "all": all, "any": any, "len": len, "min": min, "max": max,
+        "sum": sum, "abs": abs, "sorted": sorted, "zip": zip,
+        "round": round,
+    }
+    return eval(expr, {"__builtins__": {}}, env)  # noqa: S307
+
+
 def validate_entry(entry, args, fail):
     name = entry["binary"]
     path = pathlib.Path(args.json_dir) / entry["json"]
@@ -154,6 +213,12 @@ def validate_entry(entry, args, fail):
                        f", expected {SCHEMA_VERSION}")
     if isinstance(meta.get("reps"), int) and meta["reps"] < 1:
         fail.add(name, f"meta.reps is {meta['reps']}")
+    # Optional (snapshots predating the --seed flag lack it): the
+    # randomization seed the run is reproducible from.
+    if "seed" in meta and (not isinstance(meta["seed"], int)
+                           or isinstance(meta["seed"], bool)
+                           or meta["seed"] < 0):
+        fail.add(name, f"meta.seed is {meta.get('seed')!r}")
     if isinstance(meta.get("git_describe"), str) and not meta["git_describe"]:
         fail.add(name, "meta.git_describe is empty")
 
@@ -214,13 +279,27 @@ def validate_entry(entry, args, fail):
         where = assertion.get("where", {})
         expr = assertion["expr"]
         label = assertion.get("name", expr)
-        matched = 0
-        for i, row in enumerate(rows):
-            if not isinstance(row, dict):
+        matched_rows = [
+            (i, row) for i, row in enumerate(rows)
+            if isinstance(row, dict)
+            and not any(row.get(k) != v for k, v in where.items())
+        ]
+        if not matched_rows:
+            fail.add(name, f"assert '{label}' matched no rows "
+                           f"(where={json.dumps(where)})")
+            continue
+        if assertion.get("cross"):
+            try:
+                ok = eval_cross_assertion(expr, [r for _, r in matched_rows])
+            except Exception as e:  # noqa: BLE001 -- report, don't crash
+                fail.add(name, f"cross assert '{label}' raised {e!r}")
                 continue
-            if any(row.get(k) != v for k, v in where.items()):
-                continue
-            matched += 1
+            if not ok:
+                fail.add(name, f"cross assert '{label}' failed over "
+                               f"{len(matched_rows)} rows "
+                               f"(where={json.dumps(where)})")
+            continue
+        for i, row in matched_rows:
             try:
                 ok = eval_assertion(expr, row)
             except Exception as e:  # noqa: BLE001 -- report, don't crash
@@ -229,9 +308,6 @@ def validate_entry(entry, args, fail):
             if not ok:
                 fail.add(name, f"assert '{label}' failed on rows[{i}]: "
                                f"{json.dumps(row)}")
-        if matched == 0:
-            fail.add(name, f"assert '{label}' matched no rows "
-                           f"(where={json.dumps(where)})")
 
 
 def main():
