@@ -1,0 +1,73 @@
+#include "query/select.hpp"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "mpisim/error.hpp"
+#include "sort/sampling.hpp"
+
+namespace jsort::query {
+
+SelectResult DistributedSelect(Transport& tr, std::span<const double> local,
+                               std::int64_t k, const SelectConfig& cfg,
+                               SelectStats* stats) {
+  const std::int64_t n_local = static_cast<std::int64_t>(local.size());
+  std::int64_t n_total = 0;
+  Allreduce(tr, &n_local, &n_total, 1, Datatype::kInt64, ReduceOp::kSum,
+            cfg.tag);
+  if (stats != nullptr) stats->n_total = n_total;
+  if (k < 0 || k >= n_total) {
+    throw mpisim::UsageError("DistributedSelect: k out of range");
+  }
+
+  // The local share of the global active window. Every discarded element
+  // is strictly outside the answer's equal run, so `below` (the global
+  // count of discarded-small elements) turns window-relative counts into
+  // exact global ranks.
+  std::vector<double> active(local.begin(), local.end());
+  std::int64_t below = 0;
+  std::mt19937_64 rng(cfg.seed ^
+                      (0x9E3779B97F4A7C15ull *
+                       (static_cast<std::uint64_t>(tr.Rank()) + 1)));
+
+  while (true) {
+    if (stats != nullptr) ++stats->rounds;
+    // Globally uniform pivot: weighted-reservoir candidates, max-key wins.
+    const mpisim::PairDD cand = ReservoirCandidate(active, rng);
+    mpisim::PairDD winner{};
+    Allreduce(tr, &cand, &winner, 1, Datatype::kPairDoubleDouble,
+              ReduceOp::kMaxPairFirst, cfg.tag);
+    const double pivot = winner.second;
+
+    // Local three-way partition, then one allreduce for the pivot's
+    // global rank interval within the window.
+    const auto less_end = std::partition(
+        active.begin(), active.end(), [&](double x) { return x < pivot; });
+    const auto equal_end = std::partition(
+        less_end, active.end(), [&](double x) { return x == pivot; });
+    const std::int64_t counts[2] = {
+        static_cast<std::int64_t>(less_end - active.begin()),
+        static_cast<std::int64_t>(equal_end - less_end),
+    };
+    std::int64_t global[2] = {0, 0};
+    Allreduce(tr, counts, global, 2, Datatype::kInt64, ReduceOp::kSum,
+              cfg.tag);
+
+    if (k < below + global[0]) {
+      active.erase(less_end, active.end());
+    } else if (k < below + global[0] + global[1]) {
+      // k falls inside the pivot's equal run: exact answer.
+      return SelectResult{pivot, below + global[0],
+                          below + global[0] + global[1]};
+    } else {
+      active.erase(active.begin(), equal_end);
+      below += global[0] + global[1];
+    }
+    // The pivot is an actual element (its equal run has global count
+    // >= 1), so the window shrinks every round: termination is
+    // unconditional, O(log n) rounds in expectation.
+  }
+}
+
+}  // namespace jsort::query

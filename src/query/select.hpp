@@ -1,0 +1,53 @@
+// Distributed k-th selection: the exact k-th order statistic of a
+// distributed multiset, without sorting it.
+//
+// Iterative distributed quickselect. Each round picks a globally uniform
+// pivot with the weighted-reservoir machinery the sorters already use
+// (sampling.hpp: per-rank candidate keyed u^(1/m), one kMaxPairFirst
+// allreduce), three-way partitions the local active windows around it,
+// and establishes the pivot's global rank interval with one summed
+// allreduce of {#less, #equal}. The window shrinks geometrically in
+// expectation: O(log n) rounds of O(log p)-latency collectives, O(n/p)
+// expected local work (each element is touched O(1) times in
+// expectation). Duplicate-heavy inputs cost nothing extra -- the pivot's
+// whole equal run is resolved or discarded per round, so termination is
+// guaranteed even on all-equal data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "query/common.hpp"
+
+namespace jsort::query {
+
+struct SelectConfig {
+  /// Pivot-sampling seed. Mixed with the group rank, so ranks draw
+  /// decorrelated reservoir keys; the result is deterministic in
+  /// (data, k, seed) and identical across backends.
+  std::uint64_t seed = 0x51E7u;
+  int tag = kSelectTagBase;
+};
+
+struct SelectStats {
+  int rounds = 0;               // pivot rounds (2 allreduces each)
+  std::int64_t n_total = 0;     // global element count
+};
+
+/// The answer: the k-th smallest global element (0-based) and its exact
+/// global rank interval. k in [less, less_equal) always holds, and
+/// less_equal - less is the value's global multiplicity.
+struct SelectResult {
+  double value = 0.0;
+  std::int64_t less = 0;        // global #elements strictly < value
+  std::int64_t less_equal = 0;  // global #elements <= value
+};
+
+/// Collective over the transport group; every rank passes its local slice
+/// and receives the identical result. Requires 0 <= k < sum of local
+/// sizes (throws UsageError otherwise, consistently on every rank).
+SelectResult DistributedSelect(Transport& tr, std::span<const double> local,
+                               std::int64_t k, const SelectConfig& cfg = {},
+                               SelectStats* stats = nullptr);
+
+}  // namespace jsort::query

@@ -17,6 +17,16 @@ const char* AlgorithmName(Algorithm a) {
   return "?";
 }
 
+const char* JobKindName(JobKind k) {
+  switch (k) {
+    case JobKind::kSort: return "sort";
+    case JobKind::kSelect: return "select";
+    case JobKind::kTopK: return "topk";
+    case JobKind::kQuantile: return "quantile";
+  }
+  return "?";
+}
+
 namespace {
 
 /// Uniform double in [0, 1) from a raw 64-bit word (top 53 bits). Used
@@ -47,7 +57,9 @@ std::vector<JobSpec> MakeJobStream(int ranks, const JobStreamParams& params,
       params.min_width < 1 || params.max_width < params.min_width ||
       params.min_width > ranks ||
       params.min_n < 1 || params.max_n < params.min_n ||
-      params.algorithms.empty() || params.inputs.empty()) {
+      params.algorithms.empty() || params.inputs.empty() ||
+      params.query_fraction < 0.0 || params.query_fraction > 1.0 ||
+      (params.query_fraction > 0.0 && params.query_kinds.empty())) {
     throw mpisim::UsageError("MakeJobStream: malformed parameters");
   }
   std::mt19937_64 rng(seed ^ 0xC0FFEE5EEDull);
@@ -91,6 +103,33 @@ std::vector<JobSpec> MakeJobStream(int ranks, const JobStreamParams& params,
                                             params.max_priority + 1))
                      : 0;
     s.seed = rng() | 1u;  // nonzero
+    // Query draws come last and only when the stream asks for queries, so
+    // every query_fraction == 0 stream is word-for-word identical to the
+    // streams generated before queries existed.
+    if (params.query_fraction > 0.0 &&
+        UnitFrom(rng()) < params.query_fraction) {
+      s.kind = params.query_kinds[static_cast<std::size_t>(
+          rng() % params.query_kinds.size())];
+      switch (s.kind) {
+        case JobKind::kSort:
+          break;
+        case JobKind::kSelect:
+        case JobKind::kTopK: {
+          // k log-uniform in [1, n_total]: small-k queries dominate but
+          // the tail reaches full-size requests.
+          const double lg_k =
+              UnitFrom(rng()) * std::log2(static_cast<double>(s.n_total));
+          s.k = std::clamp<std::int64_t>(
+              static_cast<std::int64_t>(std::llround(std::exp2(lg_k))), 1,
+              s.n_total);
+          if (s.kind == JobKind::kSelect) --s.k;  // 0-based statistic
+          break;
+        }
+        case JobKind::kQuantile:
+          s.q = UnitFrom(rng());
+          break;
+      }
+    }
     jobs.push_back(s);
   }
   return jobs;

@@ -30,15 +30,33 @@ enum class Algorithm {
 
 const char* AlgorithmName(Algorithm a);
 
+/// What a job asks of the service: a full sort of its input, or one of
+/// the jsort::query answers over it. Queries are the small,
+/// latency-sensitive end of the mix -- the workload the O(1) RBC splits
+/// pay off most for, since admission cost is a fixed tax no query can
+/// amortize the way a long sort can.
+enum class JobKind {
+  kSort,      // the classic service job: globally sort the input
+  kSelect,    // k-th order statistic (JobSpec::k, 0-based)
+  kTopK,      // the JobSpec::k smallest, delivered to the group root
+  kQuantile,  // quantile JobSpec::q via the streaming summary
+};
+
+const char* JobKindName(JobKind k);
+
 /// One sort job as submitted to the service. Arrival is a point in
 /// *virtual* time (the substrate's alpha-beta model clock); everything
 /// else parameterizes the sort itself. Deterministic: two streams with
 /// equal specs produce byte-identical service schedules per backend.
 struct JobSpec {
   int id = 0;                  // dense, unique; index into results
+  JobKind kind = JobKind::kSort;
   InputKind input = InputKind::kUniform;
   std::int64_t n_total = 0;    // global element count of this job
-  Algorithm algorithm = Algorithm::kJQuick;
+  Algorithm algorithm = Algorithm::kJQuick;  // kSort only
+  std::int64_t k = 0;          // kSelect: 0-based order statistic;
+                               // kTopK: result size
+  double q = 0.5;              // kQuantile: quantile in [0, 1]
   int width = 1;               // requested ranks (policies may shrink it)
   int priority = 0;            // higher admits first within a policy order
   double arrival_vtime = 0.0;  // submission time on the model clock
@@ -60,8 +78,12 @@ struct JobResult {
   double split_vtime = 0.0;      // max member cost of Transport::Split
   double sort_vtime = 0.0;       // max member cost of the sort itself
   double latency = 0.0;          // completion - arrival (end to end)
-  std::int64_t elements = 0;     // total output elements over members
-  std::int64_t messages = 0;     // payload messages the sorter reported
+  std::int64_t elements = 0;     // total result elements over members
+                                 //   (sorts: n_total; queries: payload size)
+  std::int64_t messages = 0;     // payload messages the job's kernel sent
+  double answer = 0.0;           // queries: the scalar answer as reported
+                                 //   by the group root (k-th value, top-k
+                                 //   threshold, quantile estimate)
   bool ok = false;               // verification verdict (true if disabled)
 };
 
@@ -83,6 +105,13 @@ struct JobStreamParams {
       Algorithm::kJQuick, Algorithm::kSampleSort, Algorithm::kMultilevel};
   std::vector<InputKind> inputs = {InputKind::kUniform, InputKind::kZipf,
                                    InputKind::kSortedAsc};
+  /// Share of jobs that are queries instead of sorts (0 reproduces the
+  /// pre-query streams word for word -- no extra rng draws happen).
+  /// Query jobs draw k log-uniform in [1, n_total] (select answers the
+  /// (k-1)-th 0-based statistic) and q uniform in [0, 1).
+  double query_fraction = 0.0;
+  std::vector<JobKind> query_kinds = {JobKind::kSelect, JobKind::kTopK,
+                                      JobKind::kQuantile};
 };
 
 /// Generates `params.jobs` specs for a machine of `ranks` ranks.

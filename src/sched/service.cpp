@@ -7,6 +7,10 @@
 #include <mutex>
 
 #include "mpisim/runtime.hpp"
+#include "query/quantile.hpp"
+#include "query/select.hpp"
+#include "query/topk.hpp"
+#include "sort/checks.hpp"
 #include "sort/jquick.hpp"
 #include "sort/multilevel_sort.hpp"
 #include "sort/sample_sort.hpp"
@@ -36,6 +40,7 @@ struct SortService::SharedState {
     double sort_vtime = 0.0;
     std::int64_t elements = 0;
     std::int64_t messages = 0;
+    double answer = 0.0;  // significant on the job's group root only
     bool ok = true;
   };
 
@@ -139,6 +144,19 @@ bool VerifyJob(const std::shared_ptr<Transport>& sub, const JobSpec& spec,
   return verdict != 0.0;
 }
 
+/// Runs a verification functor with the virtual clock saved and restored,
+/// so the query checkers' collectives (like VerifyJob's) never show up in
+/// any reported timing.
+template <typename F>
+bool OffClock(F&& verify) {
+  mpisim::RankContext& rc = mpisim::Ctx();
+  const double saved = rc.clock.Now();
+  const bool ok = verify();
+  rc.clock.Reset();
+  rc.clock.Advance(saved);
+  return ok;
+}
+
 }  // namespace
 
 ServiceStats SortService::Run(mpisim::Comm& world) {
@@ -187,52 +205,118 @@ ServiceStats SortService::Run(mpisim::Comm& world) {
       std::vector<double> input =
           GenerateInput(a.spec.input, jr, jp, quota, a.spec.seed);
       if (cfg_.charge_local_sort && quota > 0) {
+        // Sorts pay the comparison-sort term; queries touch each local
+        // element O(1) times in expectation, so they pay a linear scan.
         const double logn =
             quota > 1 ? std::log2(static_cast<double>(quota)) : 1.0;
-        rc.clock.Advance(rc.runtime->options().cost.compute_unit *
-                         static_cast<double>(quota) * logn);
+        const double units =
+            a.spec.kind == JobKind::kSort
+                ? static_cast<double>(quota) * logn
+                : static_cast<double>(quota);
+        rc.clock.Advance(rc.runtime->options().cost.compute_unit * units);
       }
 
-      std::vector<double> sorted;
+      std::vector<double> result;  // this rank's share of the answer
       std::int64_t messages = 0;
-      switch (a.spec.algorithm) {
-        case Algorithm::kJQuick: {
-          JQuickConfig scfg;
-          scfg.seed = a.spec.seed;
-          JQuickStats st;
-          sorted = JQuickSortPadded(sub, std::move(input), scfg, &st);
-          messages = st.messages_sent;
+      double answer = 0.0;
+      bool ok = true;
+      const std::uint64_t msg0 = rc.stats.messages_sent;
+      switch (a.spec.kind) {
+        case JobKind::kSort: {
+          switch (a.spec.algorithm) {
+            case Algorithm::kJQuick: {
+              JQuickConfig scfg;
+              scfg.seed = a.spec.seed;
+              JQuickStats st;
+              result = JQuickSortPadded(sub, std::move(input), scfg, &st);
+              messages = st.messages_sent;
+              break;
+            }
+            case Algorithm::kSampleSort: {
+              SampleSortConfig scfg;
+              scfg.seed = a.spec.seed;
+              SampleSortStats st;
+              result = SampleSort(sub, std::move(input), scfg, &st);
+              messages = st.messages_sent;
+              break;
+            }
+            case Algorithm::kMultilevel: {
+              MultilevelConfig scfg;
+              scfg.seed = a.spec.seed;
+              MultilevelStats st;
+              result = MultilevelSampleSort(sub, std::move(input), scfg, &st);
+              messages = st.messages_sent;
+              break;
+            }
+          }
+          if (cfg_.verify) ok = VerifyJob(sub, a.spec, result);
           break;
         }
-        case Algorithm::kSampleSort: {
-          SampleSortConfig scfg;
-          scfg.seed = a.spec.seed;
-          SampleSortStats st;
-          sorted = SampleSort(sub, std::move(input), scfg, &st);
-          messages = st.messages_sent;
+        case JobKind::kSelect: {
+          query::SelectConfig qcfg;
+          qcfg.seed = a.spec.seed;
+          const query::SelectResult sel =
+              query::DistributedSelect(*sub, input, a.spec.k, qcfg);
+          messages =
+              static_cast<std::int64_t>(rc.stats.messages_sent - msg0);
+          answer = sel.value;
+          if (jr == 0) result = {sel.value};
+          if (cfg_.verify) {
+            ok = OffClock([&] {
+              return VerifySelection(*sub, input, a.spec.k, sel.value,
+                                     sel.less, sel.less_equal,
+                                     query::kQueryVerifyTagBase);
+            });
+          }
           break;
         }
-        case Algorithm::kMultilevel: {
-          MultilevelConfig scfg;
-          scfg.seed = a.spec.seed;
-          MultilevelStats st;
-          sorted = MultilevelSampleSort(sub, std::move(input), scfg, &st);
-          messages = st.messages_sent;
+        case JobKind::kTopK: {
+          query::TopKConfig qcfg;
+          qcfg.seed = a.spec.seed;
+          std::vector<double> topk =
+              query::DistributedTopK(*sub, input, a.spec.k, qcfg);
+          messages =
+              static_cast<std::int64_t>(rc.stats.messages_sent - msg0);
+          if (jr == 0) answer = topk.empty() ? 0.0 : topk.back();
+          if (cfg_.verify) {
+            ok = OffClock([&] {
+              return VerifyTopK(*sub, input, a.spec.k, topk, 0,
+                                query::kQueryVerifyTagBase);
+            });
+          }
+          result = std::move(topk);
+          break;
+        }
+        case JobKind::kQuantile: {
+          query::QuantileConfig qcfg;
+          qcfg.bins = cfg_.quantile_bins;
+          const query::QuantileSummary summary =
+              query::BuildQuantileSummary(*sub, input, qcfg);
+          messages =
+              static_cast<std::int64_t>(rc.stats.messages_sent - msg0);
+          answer = summary.Query(a.spec.q);
+          if (jr == 0) result = {answer};
+          if (cfg_.verify) {
+            ok = OffClock([&] {
+              return VerifyQuantile(*sub, input, a.spec.q, answer,
+                                    summary.RankErrorBound(a.spec.q),
+                                    query::kQueryVerifyTagBase);
+            });
+          }
           break;
         }
       }
       const double t_end = rc.clock.Now();
 
-      bool ok = true;
-      if (cfg_.verify) ok = VerifyJob(sub, a.spec, sorted);
-      if (cfg_.on_job_output) cfg_.on_job_output(a, jr, sorted);
+      if (cfg_.on_job_output) cfg_.on_job_output(a, jr, result);
 
       mine.job = a.spec.id;
       mine.end_clock = t_end;
       mine.split_vtime = t_split - t0;
       mine.sort_vtime = t_end - t_split;
-      mine.elements = static_cast<std::int64_t>(sorted.size());
+      mine.elements = static_cast<std::int64_t>(result.size());
       mine.messages = messages;
+      mine.answer = answer;
       mine.ok = ok;
     }
 
@@ -249,6 +333,9 @@ ServiceStats SortService::Run(mpisim::Comm& world) {
       r.start_vtime = a.start_vtime;
       r.queue_wait = a.start_vtime - a.spec.arrival_vtime;
       r.ok = true;
+      // The group root (sub rank 0) is world rank a.first; its report
+      // carries the scalar answer of a query job.
+      r.answer = shared_->reports[static_cast<std::size_t>(a.first)].answer;
       double completion = a.start_vtime;
       for (int m = a.first; m <= a.last; ++m) {
         const SharedState::RankReport& rep =
@@ -310,6 +397,30 @@ ServiceMetrics Summarize(const ServiceStats& stats) {
   m.p50_latency = LatencyPercentile(stats, 0.50);
   m.p99_latency = LatencyPercentile(stats, 0.99);
   return m;
+}
+
+namespace {
+
+/// Filtered copy sharing the full run's makespan: per-kind jobs_per_sec
+/// and latency percentiles of a mixed stream.
+ServiceMetrics SummarizeKind(const ServiceStats& stats, bool queries) {
+  ServiceStats sub;
+  sub.waves = stats.waves;
+  sub.makespan = stats.makespan;
+  for (const JobResult& r : stats.jobs) {
+    if ((r.spec.kind != JobKind::kSort) == queries) sub.jobs.push_back(r);
+  }
+  return Summarize(sub);
+}
+
+}  // namespace
+
+ServiceMetrics SummarizeQueries(const ServiceStats& stats) {
+  return SummarizeKind(stats, /*queries=*/true);
+}
+
+ServiceMetrics SummarizeSorts(const ServiceStats& stats) {
+  return SummarizeKind(stats, /*queries=*/false);
 }
 
 }  // namespace jsort::sched

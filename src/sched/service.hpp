@@ -36,14 +36,19 @@ struct ServiceConfig {
   /// Split/communication backend every job group is materialized with.
   Backend backend = Backend::kRbc;
   SchedulerConfig scheduler{};
-  /// Verify each job's output (global sortedness + element conservation)
-  /// on its own group. Runs off the virtual clock, so enabling it does
-  /// not perturb the reported timings.
+  /// Verify each job's result on its own group: sorts check global
+  /// sortedness + element conservation; queries re-establish the answer
+  /// from the original input (checks.hpp query checkers). Runs off the
+  /// virtual clock, so enabling it does not perturb reported timings.
   bool verify = false;
-  /// Charge compute_unit * n * log2(n) of model time per member for the
-  /// local sorting work, so even communication-free (width-1) jobs have
-  /// positive duration. Identical across backends.
+  /// Charge explicit model time per member for the local work: sorts pay
+  /// compute_unit * n * log2(n) (comparison sort), queries pay
+  /// compute_unit * n (linear scans/partitions), so even
+  /// communication-free (width-1) jobs have positive duration. Identical
+  /// across backends.
   bool charge_local_sort = true;
+  /// Summary size for kQuantile jobs (QuantileConfig::bins).
+  int quantile_bins = 64;
   /// Rank-local observation hook: called by every member rank with its
   /// slice of the job's sorted output (tests use this for byte-exact
   /// comparison against the standalone sorters).
@@ -76,6 +81,13 @@ struct ServiceMetrics {
 };
 
 ServiceMetrics Summarize(const ServiceStats& stats);
+
+/// Summarize restricted to the query jobs (kind != kSort) / the sorts of
+/// a mixed stream. The makespan (and thus jobs_per_sec's denominator) is
+/// the full run's: "queries per second" means "of the mixed service run",
+/// not of a hypothetical query-only service.
+ServiceMetrics SummarizeQueries(const ServiceStats& stats);
+ServiceMetrics SummarizeSorts(const ServiceStats& stats);
 
 /// Nearest-rank percentile (q in [0, 1]) of the end-to-end latencies.
 double LatencyPercentile(const ServiceStats& stats, double q);

@@ -1,7 +1,9 @@
 #include "sort/checks.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 namespace jsort {
@@ -21,6 +23,19 @@ std::uint64_t BitsOf(double v) {
   std::uint64_t u = 0;
   std::memcpy(&u, &v, sizeof u);
   return u;
+}
+
+/// Blocking allreduce over a Transport (Ireduce to rank 0 + Ibcast),
+/// mirroring jsort::query's helper; the checkers run over Transport so
+/// they verify on whichever backend produced the answer.
+void TrWait(const Poll& poll) {
+  while (!poll()) std::this_thread::yield();
+}
+
+void TrAllreduce(Transport& tr, const void* in, void* out, int count,
+                 Datatype dt, ReduceOp op, int tag) {
+  TrWait(tr.Ireduce(in, out, count, dt, op, 0, tag));
+  TrWait(tr.Ibcast(out, count, dt, 0, tag + 1));
 }
 
 }  // namespace
@@ -88,6 +103,103 @@ Balance GlobalBalance(std::span<const double> local, const rbc::Comm& comm) {
   rbc::Bcast(&b.min_count, 1, rbc::Datatype::kInt64, 0, comm);
   rbc::Bcast(&b.max_count, 1, rbc::Datatype::kInt64, 0, comm);
   return b;
+}
+
+bool VerifySelection(Transport& tr, std::span<const double> local,
+                     std::int64_t k, double value, std::int64_t less,
+                     std::int64_t less_equal, int tag) {
+  std::int64_t mine[3] = {0, 0, static_cast<std::int64_t>(local.size())};
+  for (const double x : local) {
+    if (x < value) ++mine[0];
+    if (x <= value) ++mine[1];
+  }
+  std::int64_t global[3] = {0, 0, 0};
+  TrAllreduce(tr, mine, global, 3, Datatype::kInt64, ReduceOp::kSum, tag);
+  // Identical global inputs on every rank, so no verdict broadcast needed.
+  return global[0] == less && global[1] == less_equal && less <= k &&
+         k < less_equal && less_equal <= global[2];
+}
+
+bool VerifyTopK(Transport& tr, std::span<const double> local, std::int64_t k,
+                std::span<const double> topk, int root, int tag) {
+  const std::int64_t n_local = static_cast<std::int64_t>(local.size());
+  std::int64_t n_total = 0;
+  TrAllreduce(tr, &n_local, &n_total, 1, Datatype::kInt64, ReduceOp::kSum,
+              tag);
+  const std::int64_t expect = std::min(k < 0 ? 0 : k, n_total);
+
+  // The root publishes {m, sorted?, threshold}; a wrong size or ordering
+  // fails immediately on every rank.
+  double head[3] = {0.0, 0.0, 0.0};
+  if (tr.Rank() == root) {
+    head[0] = static_cast<double>(topk.size());
+    head[1] = std::is_sorted(topk.begin(), topk.end()) ? 1.0 : 0.0;
+    head[2] = topk.empty() ? 0.0 : topk.back();
+  }
+  TrWait(tr.Ibcast(head, 3, Datatype::kFloat64, root, tag + 2));
+  const auto m = static_cast<std::int64_t>(head[0]);
+  if (m != expect || head[1] == 0.0) return false;
+  if (m == 0) return true;
+  const double threshold = head[2];
+
+  // The strictly-below-threshold part of the input must match the
+  // strictly-below part of topk element for element (count + the same
+  // order-independent hash the sort fingerprint uses); the remaining
+  // slots must be threshold copies within its global multiplicity.
+  std::int64_t counts[2] = {0, 0};  // {#< threshold, #== threshold}
+  std::uint64_t hash = 0;
+  for (const double x : local) {
+    if (x < threshold) {
+      ++counts[0];
+      hash += Mix(BitsOf(x));
+    } else if (x == threshold) {
+      ++counts[1];
+    }
+  }
+  std::int64_t g_counts[2] = {0, 0};
+  std::uint64_t g_hash = 0;
+  TrAllreduce(tr, counts, g_counts, 2, Datatype::kInt64, ReduceOp::kSum, tag);
+  TrAllreduce(tr, &hash, &g_hash, 1, Datatype::kUint64, ReduceOp::kSum, tag);
+
+  std::uint8_t ok = 1;
+  if (tr.Rank() == root) {
+    std::int64_t t_below = 0;
+    std::uint64_t t_hash = 0;
+    for (const double y : topk) {
+      if (y < threshold) {
+        ++t_below;
+        t_hash += Mix(BitsOf(y));
+      }
+    }
+    const std::int64_t t_ties = m - t_below;
+    ok = (g_counts[0] == t_below && g_hash == t_hash && t_ties >= 1 &&
+          t_ties <= g_counts[1])
+             ? 1
+             : 0;
+  }
+  TrWait(tr.Ibcast(&ok, 1, Datatype::kByte, root, tag + 3));
+  return ok != 0;
+}
+
+bool VerifyQuantile(Transport& tr, std::span<const double> local, double q,
+                    double value, std::int64_t rank_error_bound, int tag) {
+  std::int64_t mine[3] = {0, 0, static_cast<std::int64_t>(local.size())};
+  for (const double x : local) {
+    if (x < value) ++mine[0];
+    if (x <= value) ++mine[1];
+  }
+  std::int64_t global[3] = {0, 0, 0};
+  TrAllreduce(tr, mine, global, 3, Datatype::kInt64, ReduceOp::kSum, tag);
+  const std::int64_t n = global[2];
+  if (n == 0) return true;  // nothing to answer; any value is as good
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const auto target = static_cast<std::int64_t>(
+      std::llround(clamped * static_cast<double>(n - 1)));
+  // `value` may be interpolated (not a data element); its plausible rank
+  // interval is [#< value, #<= value]. The nearest-rank target must fall
+  // within the declared error bound of that interval.
+  return target + rank_error_bound >= global[0] &&
+         target <= global[1] + rank_error_bound;
 }
 
 }  // namespace jsort

@@ -2,13 +2,17 @@
 // examples and the benchmark harnesses:
 //  * global sortedness (locally sorted + boundary chain check),
 //  * permutation preservation (order-independent global fingerprint),
-//  * balance (min/max local element counts).
+//  * balance (min/max local element counts),
+// plus the query-result checkers (selection / top-k / quantile), which
+// re-establish each answer from global reductions over the *original*
+// input rather than trusting the kernel's own bookkeeping.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
 #include "rbc/rbc.hpp"
+#include "sort/transport.hpp"
 
 namespace jsort {
 
@@ -42,5 +46,34 @@ struct Balance {
   std::int64_t max_count = 0;
 };
 Balance GlobalBalance(std::span<const double> local, const rbc::Comm& comm);
+
+// ---------------------------------------------------------------------------
+// Query-result checkers. Collective over the transport group; every rank
+// passes its slice of the ORIGINAL (pre-query) input and the verdict is
+// identical on all ranks. The default tag matches
+// jsort::query::kQueryVerifyTagBase.
+
+/// True iff `value` is the k-th smallest (0-based) element of the
+/// distributed multiset and [less, less_equal) is its exact global rank
+/// interval: #\{x < value\} == less, #\{x <= value\} == less_equal, and
+/// less <= k < less_equal.
+bool VerifySelection(Transport& tr, std::span<const double> local,
+                     std::int64_t k, double value, std::int64_t less,
+                     std::int64_t less_equal, int tag = 7130);
+
+/// True iff `topk` (significant on group rank `root` only, ignored
+/// elsewhere) is exactly the min(k, n_total) globally smallest elements,
+/// sorted ascending: the strictly-below-threshold multisets must agree
+/// element-for-element (count + order-independent hash), and the
+/// threshold copies must not exceed its global multiplicity.
+bool VerifyTopK(Transport& tr, std::span<const double> local, std::int64_t k,
+                std::span<const double> topk, int root, int tag = 7130);
+
+/// True iff `value` answers quantile q within `rank_error_bound`: the
+/// nearest-rank target of q must lie within rank_error_bound of value's
+/// global rank interval [#\{x < value\}, #\{x <= value\}].
+bool VerifyQuantile(Transport& tr, std::span<const double> local, double q,
+                    double value, std::int64_t rank_error_bound,
+                    int tag = 7130);
 
 }  // namespace jsort

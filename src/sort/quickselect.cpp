@@ -4,16 +4,25 @@
 #include <random>
 #include <utility>
 
+#include "mpisim/error.hpp"
+
 namespace jsort {
 
-void QuickselectSmallest(std::span<double> data, std::size_t k,
-                         std::uint64_t seed) {
-  if (k == 0 || k >= data.size()) return;
+KthSplit QuickselectKth(std::span<double> data, std::size_t k,
+                        std::uint64_t seed) {
+  if (k >= data.size()) {
+    throw mpisim::UsageError("QuickselectKth: k out of range");
+  }
   std::mt19937_64 rng(seed);
   std::size_t lo = 0;
   std::size_t hi = data.size();  // select within [lo, hi)
-  std::size_t want = k;          // absolute index boundary
-  while (hi - lo > 1) {
+  // Invariant: data[0, lo) < every element of [lo, hi) < data[hi, n),
+  // strictly -- each discarded side excludes the pivot's equal run, so
+  // no duplicate of the eventual answer survives outside the window.
+  while (true) {
+    if (hi - lo == 1) {
+      return KthSplit{data[lo], lo, lo + 1};
+    }
     const std::size_t pi =
         lo + std::uniform_int_distribution<std::size_t>(0, hi - lo - 1)(rng);
     const double pivot = data[pi];
@@ -32,14 +41,23 @@ void QuickselectSmallest(std::span<double> data, std::size_t k,
       }
     }
     // [lo, lt): < pivot, [lt, gt): == pivot, [gt, hi): > pivot.
-    if (want <= lt) {
+    if (k < lt) {
       hi = lt;
-    } else if (want >= gt) {
+    } else if (k >= gt) {
       lo = gt;
     } else {
-      return;  // the boundary falls inside the run of pivot duplicates
+      return KthSplit{pivot, lt, gt};
     }
   }
+}
+
+void QuickselectSmallest(std::span<double> data, std::size_t k,
+                         std::uint64_t seed) {
+  if (k == 0 || k >= data.size()) return;
+  // After selecting index k-1, data[0, less_equal) are all <= the k-th
+  // smallest value and less_equal >= k, so the prefix of k elements is
+  // exactly the k smallest (ties resolved arbitrarily).
+  QuickselectKth(data, k - 1, seed);
 }
 
 }  // namespace jsort

@@ -1,6 +1,13 @@
-// Quickselect, used by the two-process base case of JQuick (Section VII):
-// after the pairwise data exchange, each partner selects the k elements
-// that belong to its side of the boundary.
+// Quickselect kernels.
+//
+// QuickselectSmallest is used by the two-process base case of JQuick
+// (Section VII): after the pairwise data exchange, each partner selects
+// the k elements that belong to its side of the boundary.
+//
+// QuickselectKth is the local workhorse of the distributed selection
+// queries (src/query): it reports the k-th order statistic together with
+// the three-way split boundary around it, which the distributed top-k
+// needs to apportion ties deterministically across ranks.
 #pragma once
 
 #include <cstddef>
@@ -8,6 +15,25 @@
 #include <span>
 
 namespace jsort {
+
+/// Result of QuickselectKth: the k-th smallest element (0-based) and the
+/// three-way split the selection leaves behind. After the call, `data` is
+/// reordered so that
+///   data[0 .. less)            < value,
+///   data[less .. less_equal)  == value   (contains index k), and
+///   data[less_equal .. n)      > value.
+struct KthSplit {
+  double value = 0.0;
+  std::size_t less = 0;        // #elements of data strictly < value
+  std::size_t less_equal = 0;  // #elements of data <= value
+};
+
+/// Selects the k-th smallest element of `data` (0-based; requires
+/// k < data.size(), data non-empty). Randomized three-way quickselect,
+/// expected O(n); duplicate-heavy inputs cost no extra rounds because the
+/// equal run is discarded wholesale each level.
+KthSplit QuickselectKth(std::span<double> data, std::size_t k,
+                        std::uint64_t seed = 0x9E3779B9u);
 
 /// Reorders `data` so its first k elements are the k smallest (in
 /// arbitrary order) and the remaining elements are all >= them. Randomized

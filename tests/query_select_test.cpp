@@ -1,0 +1,189 @@
+// DistributedSelect on all three split backends: exact agreement with
+// the sequential oracle over the concatenated input, exact global rank
+// intervals, duplicate-heavy and all-equal inputs, uneven and empty
+// local slices, and bit-identical answers across backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "mpisim/error.hpp"
+#include "query/select.hpp"
+#include "sort/checks.hpp"
+#include "sort/workload.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+using jsort::Backend;
+using jsort::InputKind;
+using jsort::query::DistributedSelect;
+using jsort::query::SelectResult;
+using jsort::query::SelectStats;
+using testutil::PerRank;
+using testutil::RunRanks;
+
+/// The global input as the concatenation of every rank's slice.
+std::vector<double> Concat(InputKind kind, int p, std::int64_t per_rank,
+                           std::uint64_t seed) {
+  std::vector<double> all;
+  for (int r = 0; r < p; ++r) {
+    const auto slice = jsort::GenerateInput(kind, r, p, per_rank, seed);
+    all.insert(all.end(), slice.begin(), slice.end());
+  }
+  return all;
+}
+
+class SelectSweep : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, SelectSweep,
+                         ::testing::Values(Backend::kRbc, Backend::kMpi,
+                                           Backend::kIcomm));
+
+TEST_P(SelectSweep, MatchesSequentialOracleAcrossDistributions) {
+  const Backend backend = GetParam();
+  constexpr int kRanks = 6;
+  constexpr std::int64_t kPerRank = 37;
+  for (const InputKind kind :
+       {InputKind::kUniform, InputKind::kZipf, InputKind::kFewDistinct,
+        InputKind::kAllEqual}) {
+    std::vector<double> oracle = Concat(kind, kRanks, kPerRank, 0xFEEDu);
+    std::sort(oracle.begin(), oracle.end());
+    const std::int64_t n = static_cast<std::int64_t>(oracle.size());
+    for (const std::int64_t k : {std::int64_t{0}, std::int64_t{1}, n / 2,
+                                 n - 1}) {
+      PerRank<SelectResult> results(kRanks);
+      PerRank<int> verified(kRanks);
+      RunRanks(kRanks, [&](mpisim::Comm& world) {
+        auto tr = jsort::MakeTransport(backend, world);
+        const auto local =
+            jsort::GenerateInput(kind, world.Rank(), kRanks, kPerRank, 0xFEEDu);
+        const SelectResult r = DistributedSelect(*tr, local, k);
+        results.Set(world.Rank(), r);
+        verified.Set(world.Rank(),
+                     jsort::VerifySelection(*tr, local, k, r.value, r.less,
+                                            r.less_equal)
+                         ? 1
+                         : 0);
+      });
+      const SelectResult& r0 = results[0];
+      EXPECT_EQ(r0.value, oracle[static_cast<std::size_t>(k)])
+          << jsort::InputKindName(kind) << " k=" << k;
+      const auto less = static_cast<std::int64_t>(
+          std::lower_bound(oracle.begin(), oracle.end(), r0.value) -
+          oracle.begin());
+      const auto less_equal = static_cast<std::int64_t>(
+          std::upper_bound(oracle.begin(), oracle.end(), r0.value) -
+          oracle.begin());
+      EXPECT_EQ(r0.less, less);
+      EXPECT_EQ(r0.less_equal, less_equal);
+      for (int r = 0; r < kRanks; ++r) {
+        EXPECT_EQ(results[r].value, r0.value) << "rank " << r;
+        EXPECT_EQ(results[r].less, r0.less) << "rank " << r;
+        EXPECT_EQ(results[r].less_equal, r0.less_equal) << "rank " << r;
+        EXPECT_TRUE(verified[r]) << "rank " << r;
+      }
+    }
+  }
+}
+
+TEST_P(SelectSweep, HandlesEmptyAndUnevenSlices) {
+  const Backend backend = GetParam();
+  constexpr int kRanks = 5;
+  // Rank r holds r * 3 elements; ranks 0 holds none.
+  std::vector<double> oracle;
+  for (int r = 0; r < kRanks; ++r) {
+    const auto slice =
+        jsort::GenerateInput(InputKind::kUniform, r, kRanks, 3 * r, 0x11u);
+    oracle.insert(oracle.end(), slice.begin(), slice.end());
+  }
+  std::sort(oracle.begin(), oracle.end());
+  const std::int64_t k = static_cast<std::int64_t>(oracle.size()) / 3;
+  PerRank<double> values(kRanks);
+  RunRanks(kRanks, [&](mpisim::Comm& world) {
+    auto tr = jsort::MakeTransport(backend, world);
+    const auto local = jsort::GenerateInput(InputKind::kUniform, world.Rank(),
+                                            kRanks, 3 * world.Rank(), 0x11u);
+    values.Set(world.Rank(), DistributedSelect(*tr, local, k).value);
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(values[r], oracle[static_cast<std::size_t>(k)]);
+  }
+}
+
+TEST(QuerySelect, OutOfRangeThrowsOnEveryRank) {
+  constexpr int kRanks = 4;
+  PerRank<int> threw(kRanks);
+  RunRanks(kRanks, [&](mpisim::Comm& world) {
+    auto tr = jsort::MakeTransport(Backend::kRbc, world);
+    const auto local =
+        jsort::GenerateInput(InputKind::kUniform, world.Rank(), kRanks, 8, 3);
+    int count = 0;
+    try {
+      DistributedSelect(*tr, local, -1);
+    } catch (const mpisim::UsageError&) {
+      ++count;
+    }
+    try {
+      DistributedSelect(*tr, local, 8 * kRanks);
+    } catch (const mpisim::UsageError&) {
+      ++count;
+    }
+    threw.Set(world.Rank(), count);
+  });
+  for (int r = 0; r < kRanks; ++r) EXPECT_EQ(threw[r], 2);
+}
+
+TEST(QuerySelect, IdenticalAnswersAcrossBackends) {
+  constexpr int kRanks = 4;
+  constexpr std::int64_t kPerRank = 53;
+  const std::int64_t k = 2 * kPerRank + 7;
+  std::vector<SelectResult> per_backend;
+  for (const Backend backend :
+       {Backend::kRbc, Backend::kMpi, Backend::kIcomm}) {
+    PerRank<SelectResult> results(kRanks);
+    RunRanks(kRanks, [&](mpisim::Comm& world) {
+      auto tr = jsort::MakeTransport(backend, world);
+      const auto local = jsort::GenerateInput(InputKind::kZipf, world.Rank(),
+                                              kRanks, kPerRank, 0xD00Du);
+      results.Set(world.Rank(), DistributedSelect(*tr, local, k));
+    });
+    per_backend.push_back(results[0]);
+  }
+  for (std::size_t i = 1; i < per_backend.size(); ++i) {
+    EXPECT_EQ(per_backend[i].value, per_backend[0].value);
+    EXPECT_EQ(per_backend[i].less, per_backend[0].less);
+    EXPECT_EQ(per_backend[i].less_equal, per_backend[0].less_equal);
+  }
+}
+
+TEST(QuerySelect, VerifierRejectsWrongAnswers) {
+  constexpr int kRanks = 4;
+  PerRank<int> verdicts(kRanks);
+  RunRanks(kRanks, [&](mpisim::Comm& world) {
+    auto tr = jsort::MakeTransport(Backend::kRbc, world);
+    const auto local = jsort::GenerateInput(InputKind::kUniform, world.Rank(),
+                                            kRanks, 16, 0xBADu);
+    const std::int64_t k = 20;
+    const jsort::query::SelectResult r = DistributedSelect(*tr, local, k);
+    int ok = 0;
+    // Wrong value at the right ranks, wrong interval at the right value.
+    if (!jsort::VerifySelection(*tr, local, k, r.value + 1.0, r.less,
+                                r.less_equal)) {
+      ++ok;
+    }
+    if (!jsort::VerifySelection(*tr, local, k, r.value, r.less + 1,
+                                r.less_equal)) {
+      ++ok;
+    }
+    if (jsort::VerifySelection(*tr, local, k, r.value, r.less,
+                               r.less_equal)) {
+      ++ok;
+    }
+    verdicts.Set(world.Rank(), ok);
+  });
+  for (int r = 0; r < kRanks; ++r) EXPECT_EQ(verdicts[r], 3);
+}
+
+}  // namespace

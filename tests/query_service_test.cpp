@@ -1,0 +1,213 @@
+// Query jobs inside the sort service: a mixed 90/10-style stream admits
+// sorts and queries through one scheduler, every query answer survives
+// its off-clock checker on every backend, answers equal the standalone
+// kernels' answers, and query_fraction == 0 reproduces the pre-query
+// job streams word for word.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "query/quantile.hpp"
+#include "query/select.hpp"
+#include "query/topk.hpp"
+#include "sched/service.hpp"
+#include "sort/workload.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+using jsort::Backend;
+using jsort::InputKind;
+using jsort::sched::JobKind;
+using jsort::sched::JobKindName;
+using jsort::sched::JobSpec;
+using jsort::sched::JobStreamParams;
+using jsort::sched::MakeJobStream;
+using jsort::sched::ServiceConfig;
+using jsort::sched::ServiceStats;
+using jsort::sched::SortService;
+using jsort::sched::SummarizeQueries;
+using jsort::sched::SummarizeSorts;
+
+constexpr int kRanks = 8;
+
+JobStreamParams QueryMix(int jobs, double fraction) {
+  JobStreamParams p;
+  p.jobs = jobs;
+  p.mean_interarrival = 300.0;
+  p.min_width = 1;
+  p.max_width = 4;
+  p.min_n = 32;
+  p.max_n = 512;
+  p.query_fraction = fraction;
+  return p;
+}
+
+ServiceStats RunService(int ranks, const std::vector<JobSpec>& jobs,
+                        ServiceConfig cfg) {
+  SortService service(ranks, jobs, std::move(cfg));
+  ServiceStats out;
+  testutil::RunRanks(ranks, [&](mpisim::Comm& world) {
+    ServiceStats mine = service.Run(world);
+    if (world.Rank() == 0) out = std::move(mine);
+  });
+  return out;
+}
+
+TEST(QueryService, ZeroFractionReproducesPreQueryStreams) {
+  JobStreamParams with = QueryMix(24, 0.0);
+  JobStreamParams without = QueryMix(24, 0.0);
+  without.query_kinds.clear();  // irrelevant at fraction 0
+  const auto a = MakeJobStream(kRanks, with, 77);
+  const auto b = MakeJobStream(kRanks, without, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, JobKind::kSort);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].n_total, b[i].n_total);
+    EXPECT_EQ(a[i].arrival_vtime, b[i].arrival_vtime);
+  }
+}
+
+TEST(QueryService, StreamGeneratorEmitsValidQueries) {
+  const auto jobs = MakeJobStream(kRanks, QueryMix(200, 0.5), 13);
+  int queries = 0;
+  for (const JobSpec& s : jobs) {
+    switch (s.kind) {
+      case JobKind::kSort:
+        break;
+      case JobKind::kSelect:
+        ++queries;
+        EXPECT_GE(s.k, 0);
+        EXPECT_LT(s.k, s.n_total);
+        break;
+      case JobKind::kTopK:
+        ++queries;
+        EXPECT_GE(s.k, 1);
+        EXPECT_LE(s.k, s.n_total);
+        break;
+      case JobKind::kQuantile:
+        ++queries;
+        EXPECT_GE(s.q, 0.0);
+        EXPECT_LT(s.q, 1.0);
+        break;
+    }
+  }
+  // ~50% of 200; a gross departure means the draw logic broke.
+  EXPECT_GT(queries, 60);
+  EXPECT_LT(queries, 140);
+}
+
+class BackendSweep : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendSweep,
+                         ::testing::Values(Backend::kRbc, Backend::kMpi,
+                                           Backend::kIcomm));
+
+TEST_P(BackendSweep, MixedStreamVerifiesEveryKind) {
+  auto jobs = MakeJobStream(kRanks, QueryMix(24, 0.5), 21);
+  // Make sure all three kinds actually occur.
+  jobs[0].kind = JobKind::kSelect;
+  jobs[0].k = jobs[0].n_total / 2;
+  jobs[1].kind = JobKind::kTopK;
+  jobs[1].k = std::min<std::int64_t>(8, jobs[1].n_total);
+  jobs[2].kind = JobKind::kQuantile;
+  jobs[2].q = 0.99;
+
+  ServiceConfig cfg;
+  cfg.backend = GetParam();
+  cfg.verify = true;
+  const ServiceStats stats = RunService(kRanks, jobs, cfg);
+  ASSERT_EQ(stats.jobs.size(), jobs.size());
+  int queries = 0;
+  for (const auto& r : stats.jobs) {
+    EXPECT_TRUE(r.ok) << JobKindName(r.spec.kind) << " job " << r.spec.id
+                      << " failed verification";
+    if (r.spec.kind == JobKind::kSort) {
+      EXPECT_EQ(r.elements, r.spec.n_total);
+    } else {
+      ++queries;
+      // Queries return a payload no larger than the request, never the
+      // whole input (that is the point).
+      const std::int64_t expect_elements =
+          r.spec.kind == JobKind::kTopK ? std::min(r.spec.k, r.spec.n_total)
+                                        : 1;
+      EXPECT_EQ(r.elements, expect_elements);
+    }
+    EXPECT_GE(r.start_vtime, r.spec.arrival_vtime);
+    EXPECT_GT(r.completion_vtime, r.start_vtime);
+  }
+  ASSERT_GE(queries, 3);
+
+  const auto qm = SummarizeQueries(stats);
+  const auto sm = SummarizeSorts(stats);
+  EXPECT_EQ(qm.jobs, queries);
+  EXPECT_EQ(sm.jobs, static_cast<int>(jobs.size()) - queries);
+  EXPECT_EQ(qm.failed, 0);
+  EXPECT_EQ(sm.failed, 0);
+  EXPECT_GE(qm.p99_latency, qm.p50_latency);
+  EXPECT_DOUBLE_EQ(qm.makespan, stats.makespan);
+}
+
+TEST(QueryService, AnswersMatchStandaloneKernels) {
+  // One job per query kind, each on the full machine, answers compared
+  // against the standalone kernels over the same generated input.
+  std::vector<JobSpec> jobs(3);
+  for (int i = 0; i < 3; ++i) {
+    jobs[i].id = i;
+    jobs[i].input = InputKind::kZipf;
+    jobs[i].n_total = 1000;
+    jobs[i].width = kRanks;
+    jobs[i].arrival_vtime = 100.0 * i;
+    jobs[i].seed = 0x8888u + static_cast<std::uint64_t>(i);
+  }
+  jobs[0].kind = JobKind::kSelect;
+  jobs[0].k = 700;
+  jobs[1].kind = JobKind::kTopK;
+  jobs[1].k = 12;
+  jobs[2].kind = JobKind::kQuantile;
+  jobs[2].q = 0.25;
+
+  ServiceConfig cfg;
+  cfg.backend = Backend::kRbc;
+  cfg.verify = true;
+  const ServiceStats stats = RunService(kRanks, jobs, cfg);
+
+  // Standalone runs over identical per-rank slices.
+  double expect_select = 0.0, expect_topk = 0.0, expect_quantile = 0.0;
+  testutil::RunRanks(kRanks, [&](mpisim::Comm& world) {
+    auto tr = jsort::MakeTransport(Backend::kRbc, world);
+    for (int i = 0; i < 3; ++i) {
+      const JobSpec& s = jobs[static_cast<std::size_t>(i)];
+      const std::int64_t quota =
+          s.n_total / kRanks + (world.Rank() < s.n_total % kRanks ? 1 : 0);
+      const auto local =
+          jsort::GenerateInput(s.input, world.Rank(), kRanks, quota, s.seed);
+      if (s.kind == JobKind::kSelect) {
+        jsort::query::SelectConfig qcfg;
+        qcfg.seed = s.seed;
+        const double v =
+            jsort::query::DistributedSelect(*tr, local, s.k, qcfg).value;
+        if (world.Rank() == 0) expect_select = v;
+      } else if (s.kind == JobKind::kTopK) {
+        jsort::query::TopKConfig qcfg;
+        qcfg.seed = s.seed;
+        const auto topk =
+            jsort::query::DistributedTopK(*tr, local, s.k, qcfg);
+        if (world.Rank() == 0) expect_topk = topk.back();
+      } else {
+        const auto summary =
+            jsort::query::BuildQuantileSummary(*tr, local);
+        if (world.Rank() == 0) expect_quantile = summary.Query(s.q);
+      }
+    }
+  });
+
+  EXPECT_EQ(stats.jobs[0].answer, expect_select);
+  EXPECT_EQ(stats.jobs[1].answer, expect_topk);
+  EXPECT_EQ(stats.jobs[2].answer, expect_quantile);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+// DistributedTopK on all three split backends and both routes: the
+// result is exactly the k globally smallest elements sorted ascending on
+// the root, ties are apportioned to exactly k, k >= n_total degrades to
+// "everything", and both routes agree element for element.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "query/topk.hpp"
+#include "sort/checks.hpp"
+#include "sort/workload.hpp"
+#include "testutil.hpp"
+
+namespace {
+
+using jsort::Backend;
+using jsort::InputKind;
+using jsort::query::DistributedTopK;
+using jsort::query::TopKConfig;
+using jsort::query::TopKRoute;
+using jsort::query::TopKStats;
+using testutil::PerRank;
+using testutil::RunRanks;
+
+std::vector<double> Concat(InputKind kind, int p, std::int64_t per_rank,
+                           std::uint64_t seed) {
+  std::vector<double> all;
+  for (int r = 0; r < p; ++r) {
+    const auto slice = jsort::GenerateInput(kind, r, p, per_rank, seed);
+    all.insert(all.end(), slice.begin(), slice.end());
+  }
+  return all;
+}
+
+struct SweepCase {
+  Backend backend;
+  TopKRoute route;
+};
+
+class TopKSweep : public ::testing::TestWithParam<SweepCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndRoutes, TopKSweep,
+    ::testing::Values(SweepCase{Backend::kRbc, TopKRoute::kSelect},
+                      SweepCase{Backend::kRbc, TopKRoute::kLocalHeap},
+                      SweepCase{Backend::kMpi, TopKRoute::kSelect},
+                      SweepCase{Backend::kMpi, TopKRoute::kLocalHeap},
+                      SweepCase{Backend::kIcomm, TopKRoute::kSelect},
+                      SweepCase{Backend::kIcomm, TopKRoute::kLocalHeap}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(jsort::BackendName(info.param.backend)) + "_" +
+             jsort::query::TopKRouteName(info.param.route);
+    });
+
+TEST_P(TopKSweep, ExactAcrossDistributionsAndK) {
+  const SweepCase c = GetParam();
+  constexpr int kRanks = 6;
+  constexpr std::int64_t kPerRank = 29;
+  for (const InputKind kind :
+       {InputKind::kUniform, InputKind::kZipf, InputKind::kFewDistinct,
+        InputKind::kAllEqual}) {
+    std::vector<double> oracle = Concat(kind, kRanks, kPerRank, 0xCAFEu);
+    std::sort(oracle.begin(), oracle.end());
+    const std::int64_t n = static_cast<std::int64_t>(oracle.size());
+    for (const std::int64_t k :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{13}, n, n + 50}) {
+      PerRank<std::vector<double>> results(kRanks);
+      PerRank<int> verified(kRanks);
+      RunRanks(kRanks, [&](mpisim::Comm& world) {
+        auto tr = jsort::MakeTransport(c.backend, world);
+        const auto local =
+            jsort::GenerateInput(kind, world.Rank(), kRanks, kPerRank, 0xCAFEu);
+        TopKConfig cfg;
+        cfg.route = c.route;
+        std::vector<double> topk = DistributedTopK(*tr, local, k, cfg);
+        verified.Set(world.Rank(),
+                     jsort::VerifyTopK(*tr, local, k, topk, cfg.root) ? 1
+                                                                      : 0);
+        results.Set(world.Rank(), std::move(topk));
+      });
+      const std::int64_t k_eff = std::min(k, n);
+      const std::vector<double> expect(
+          oracle.begin(), oracle.begin() + static_cast<std::ptrdiff_t>(k_eff));
+      EXPECT_EQ(results[0], expect)
+          << jsort::InputKindName(kind) << " k=" << k;
+      for (int r = 1; r < kRanks; ++r) {
+        EXPECT_TRUE(results[r].empty()) << "rank " << r;
+      }
+      for (int r = 0; r < kRanks; ++r) {
+        EXPECT_TRUE(verified[r]) << "rank " << r;
+      }
+    }
+  }
+}
+
+TEST(QueryTopK, RoutesAgreeAndAutoPicksOne) {
+  constexpr int kRanks = 8;
+  constexpr std::int64_t kPerRank = 64;
+  constexpr std::int64_t k = 24;
+  std::vector<std::vector<double>> answers;
+  for (const TopKRoute route :
+       {TopKRoute::kSelect, TopKRoute::kLocalHeap, TopKRoute::kAuto}) {
+    PerRank<std::vector<double>> results(kRanks);
+    PerRank<TopKRoute> taken(kRanks);
+    RunRanks(kRanks, [&](mpisim::Comm& world) {
+      auto tr = jsort::MakeTransport(Backend::kRbc, world);
+      const auto local = jsort::GenerateInput(InputKind::kUniform,
+                                              world.Rank(), kRanks, kPerRank,
+                                              0x50FAu);
+      TopKConfig cfg;
+      cfg.route = route;
+      TopKStats stats;
+      results.Set(world.Rank(),
+                  DistributedTopK(*tr, local, k, cfg, &stats));
+      taken.Set(world.Rank(), stats.route_taken);
+    });
+    answers.push_back(results[0]);
+    // Every rank resolved kAuto to the same concrete route.
+    for (int r = 1; r < kRanks; ++r) {
+      EXPECT_EQ(taken[r], taken[0]);
+    }
+    EXPECT_NE(taken[0], TopKRoute::kAuto);
+  }
+  EXPECT_EQ(answers[0], answers[1]);
+  EXPECT_EQ(answers[2], answers[0]);
+  ASSERT_EQ(answers[0].size(), static_cast<std::size_t>(k));
+}
+
+TEST(QueryTopK, NonZeroRootReceivesTheResult) {
+  constexpr int kRanks = 5;
+  constexpr int kRoot = 3;
+  PerRank<std::size_t> sizes(kRanks);
+  RunRanks(kRanks, [&](mpisim::Comm& world) {
+    auto tr = jsort::MakeTransport(Backend::kRbc, world);
+    const auto local = jsort::GenerateInput(InputKind::kUniform, world.Rank(),
+                                            kRanks, 20, 0x3CAu);
+    TopKConfig cfg;
+    cfg.root = kRoot;
+    const auto topk = DistributedTopK(*tr, local, 7, cfg);
+    sizes.Set(world.Rank(), topk.size());
+    EXPECT_TRUE(jsort::VerifyTopK(*tr, local, 7, topk, kRoot));
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(sizes[r], r == kRoot ? 7u : 0u);
+  }
+}
+
+TEST(QueryTopK, VerifierRejectsTamperedResults) {
+  constexpr int kRanks = 4;
+  PerRank<int> verdicts(kRanks);
+  RunRanks(kRanks, [&](mpisim::Comm& world) {
+    auto tr = jsort::MakeTransport(Backend::kRbc, world);
+    const auto local = jsort::GenerateInput(InputKind::kUniform, world.Rank(),
+                                            kRanks, 25, 0x7A3u);
+    const std::int64_t k = 9;
+    std::vector<double> topk = DistributedTopK(*tr, local, k);
+    int ok = 0;
+    if (jsort::VerifyTopK(*tr, local, k, topk, 0)) ++ok;
+    if (world.Rank() == 0 && !topk.empty()) {
+      // Swap one genuine winner for a near-miss: count stays right, the
+      // below-threshold multiset hash does not.
+      std::vector<double> tampered = topk;
+      tampered.front() = tampered.front() - 1e-9;
+      std::sort(tampered.begin(), tampered.end());
+      if (!jsort::VerifyTopK(*tr, local, k, tampered, 0)) ++ok;
+      // Truncation: wrong size.
+      std::vector<double> shorter(topk.begin(), topk.end() - 1);
+      if (!jsort::VerifyTopK(*tr, local, k, shorter, 0)) ++ok;
+    } else {
+      if (!jsort::VerifyTopK(*tr, local, k, {}, 0)) ++ok;
+      if (!jsort::VerifyTopK(*tr, local, k, {}, 0)) ++ok;
+    }
+    verdicts.Set(world.Rank(), ok);
+  });
+  for (int r = 0; r < kRanks; ++r) EXPECT_EQ(verdicts[r], 3);
+}
+
+}  // namespace

@@ -50,6 +50,7 @@ expected to exist in --json-dir already.
 import argparse
 import json
 import pathlib
+import re
 import subprocess
 import sys
 
@@ -133,6 +134,42 @@ def run_benchmark(entry, args, fail):
             entry["binary"],
             f"exited with {proc.returncode}: {' | '.join(tail[-3:])}",
         )
+
+
+def referenced_keys(expr):
+    """Row/series keys an assertion expression mentions: bare identifiers
+    plus string literals (series('bytes_on_wire', backend='select')
+    references both)."""
+    names = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", expr))
+    for a, b in re.findall(r"'([^']*)'|\"([^\"]*)\"", expr):
+        names.add(a or b)
+    return names
+
+
+def row_values(expr, row):
+    """The values the expression actually saw in `row`, as 'k=v' pairs,
+    so a failure report shows the offending numbers instead of only the
+    expression string."""
+    keys = referenced_keys(expr) & set(row)
+    return ", ".join(f"{k}={json.dumps(row[k])}" for k in sorted(keys))
+
+
+def row_identity(row):
+    return (f"bench={row.get('bench')!r} backend={row.get('backend')!r} "
+            f"p={row.get('p')} count={row.get('count')}")
+
+
+def describe_rows(expr, rows, limit=10):
+    """Compact per-row dump of a matched row set: identity plus every
+    field the expression references."""
+    lines = []
+    for row in rows[:limit]:
+        vals = row_values(expr, row)
+        lines.append(f"    {row_identity(row)}" + (f": {vals}" if vals
+                                                  else ""))
+    if len(rows) > limit:
+        lines.append(f"    ... and {len(rows) - limit} more row(s)")
+    return "\n".join(lines)
 
 
 def eval_assertion(expr, row):
@@ -289,25 +326,34 @@ def validate_entry(entry, args, fail):
                            f"(where={json.dumps(where)})")
             continue
         if assertion.get("cross"):
+            plain = [r for _, r in matched_rows]
             try:
-                ok = eval_cross_assertion(expr, [r for _, r in matched_rows])
+                ok = eval_cross_assertion(expr, plain)
             except Exception as e:  # noqa: BLE001 -- report, don't crash
-                fail.add(name, f"cross assert '{label}' raised {e!r}")
+                fail.add(name, f"cross assert '{label}' raised {e!r} over "
+                               f"{len(plain)} rows:\n"
+                               + describe_rows(expr, plain))
                 continue
             if not ok:
                 fail.add(name, f"cross assert '{label}' failed over "
-                               f"{len(matched_rows)} rows "
-                               f"(where={json.dumps(where)})")
+                               f"{len(plain)} rows "
+                               f"(where={json.dumps(where)}); "
+                               "expression inputs per row:\n"
+                               + describe_rows(expr, plain))
             continue
         for i, row in matched_rows:
             try:
                 ok = eval_assertion(expr, row)
             except Exception as e:  # noqa: BLE001 -- report, don't crash
-                fail.add(name, f"assert '{label}' raised {e!r} on rows[{i}]")
+                fail.add(name, f"assert '{label}' raised {e!r} on rows[{i}] "
+                               f"({row_identity(row)}; "
+                               f"{row_values(expr, row)})")
                 continue
             if not ok:
-                fail.add(name, f"assert '{label}' failed on rows[{i}]: "
-                               f"{json.dumps(row)}")
+                fail.add(name, f"assert '{label}' failed on rows[{i}] "
+                               f"({row_identity(row)}); "
+                               f"expression inputs: {row_values(expr, row)}; "
+                               f"full row: {json.dumps(row)}")
 
 
 def main():
