@@ -8,9 +8,14 @@
 #include "mpisim/nbc.hpp"
 #include "mpisim/p2p.hpp"
 #include "mpisim/runtime.hpp"
+#include "mpisim/sanitizer.hpp"
 
 namespace mpisim {
 namespace {
+
+std::vector<std::int64_t> ToCounts(std::span<const int> v) {
+  return {v.begin(), v.end()};
+}
 
 // Internal tags on the kColl sub-channel. The scan rounds get a tag each so
 // distance-doubling messages of different rounds cannot be confused.
@@ -96,6 +101,7 @@ void ReduceImpl(const void* send, void* recv, int count, Datatype dt,
 
 void Barrier(const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Barrier: null communicator");
+  sanitize::Scope san(comm, sanitize::MakeOp(sanitize::CollKind::kBarrier));
   std::uint8_t token = 0;
   Reduce(&token, &token, 1, Datatype::kByte, ReduceOp::kBor, 0, comm);
   Bcast(&token, 1, Datatype::kByte, 0, comm);
@@ -104,6 +110,16 @@ void Barrier(const Comm& comm) {
 void Bcast(void* buf, int count, Datatype dt, int root, const Comm& comm) {
   ValidateRoot(comm, root);
   if (count < 0) throw UsageError("Bcast: negative count");
+  sanitize::OpRecord rec =
+      sanitize::MakeOp(sanitize::CollKind::kBcast, root, kTagBcast, count,
+                       static_cast<std::uint32_t>(SizeOf(dt)));
+  const std::size_t bytes = static_cast<std::size_t>(count) * SizeOf(dt);
+  const bool is_root = comm.Rank() == root;
+  if (is_root && sanitize::Enabled()) {
+    rec.sig = sanitize::PayloadSignature(buf, bytes);
+  }
+  sanitize::Scope san(comm, std::move(rec));
+  if (!is_root) san.ArmExitSignatureCheck(buf, bytes);
   BcastImpl(buf, count, dt, root, comm, kTagBcast);
 }
 
@@ -111,11 +127,19 @@ void Reduce(const void* send, void* recv, int count, Datatype dt, ReduceOp op,
             int root, const Comm& comm) {
   ValidateRoot(comm, root);
   if (count < 0) throw UsageError("Reduce: negative count");
+  sanitize::Scope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kReduce, root, kTagReduce,
+                             count, static_cast<std::uint32_t>(SizeOf(dt))));
   ReduceImpl(send, recv, count, dt, op, root, comm, kTagReduce);
 }
 
 void Allreduce(const void* send, void* recv, int count, Datatype dt,
                ReduceOp op, const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Allreduce: null communicator");
+  sanitize::Scope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kAllreduce, /*root=*/-1,
+                             /*tag=*/-1, count,
+                             static_cast<std::uint32_t>(SizeOf(dt))));
   Reduce(send, recv, count, dt, op, 0, comm);
   Bcast(recv, count, dt, 0, comm);
 }
@@ -124,6 +148,10 @@ void Scan(const void* send, void* recv, int count, Datatype dt, ReduceOp op,
           const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Scan: null communicator");
   if (count < 0) throw UsageError("Scan: negative count");
+  sanitize::Scope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kScan, /*root=*/-1,
+                             kTagScanBase, count,
+                             static_cast<std::uint32_t>(SizeOf(dt))));
   const int p = comm.Size();
   const int rank = comm.Rank();
   const std::size_t bytes = static_cast<std::size_t>(count) * SizeOf(dt);
@@ -154,6 +182,10 @@ void Scan(const void* send, void* recv, int count, Datatype dt, ReduceOp op,
 void Exscan(const void* send, void* recv, int count, Datatype dt, ReduceOp op,
             const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Exscan: null communicator");
+  sanitize::Scope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kExscan, /*root=*/-1,
+                             kTagExscanShift, count,
+                             static_cast<std::uint32_t>(SizeOf(dt))));
   const int p = comm.Size();
   const int rank = comm.Rank();
   const std::size_t bytes = static_cast<std::size_t>(count) * SizeOf(dt);
@@ -175,6 +207,9 @@ void Gather(const void* send, int count, Datatype dt, void* recv, int root,
             const Comm& comm) {
   ValidateRoot(comm, root);
   if (count < 0) throw UsageError("Gather: negative count");
+  sanitize::Scope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kGather, root, kTagGather,
+                             count, static_cast<std::uint32_t>(SizeOf(dt))));
   const int p = comm.Size();
   const int rank = comm.Rank();
   const int relrank = (rank - root + p) % p;
@@ -226,6 +261,13 @@ void Gatherv(const void* send, int count, Datatype dt, void* recv,
              int root, const Comm& comm) {
   ValidateRoot(comm, root);
   if (count < 0) throw UsageError("Gatherv: negative count");
+  sanitize::OpRecord grec =
+      sanitize::MakeOp(sanitize::CollKind::kGatherv, root, kTagGatherv, count,
+                       static_cast<std::uint32_t>(SizeOf(dt)));
+  if (sanitize::Enabled() && comm.Rank() == root) {
+    grec.counts_from = ToCounts(recvcounts);
+  }
+  sanitize::Scope san(comm, std::move(grec));
   const int p = comm.Size();
   const int rank = comm.Rank();
   const int relrank = (rank - root + p) % p;
@@ -309,6 +351,11 @@ void Gatherv(const void* send, int count, Datatype dt, void* recv,
 
 void Allgather(const void* send, int count, Datatype dt, void* recv,
                const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Allgather: null communicator");
+  sanitize::Scope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kAllgather, /*root=*/-1,
+                             /*tag=*/-1, count,
+                             static_cast<std::uint32_t>(SizeOf(dt))));
   Gather(send, count, dt, recv, 0, comm);
   Bcast(recv, count * comm.Size(), dt, 0, comm);
 }
@@ -316,6 +363,13 @@ void Allgather(const void* send, int count, Datatype dt, void* recv,
 void Allgatherv(const void* send, int count, Datatype dt, void* recv,
                 std::span<const int> recvcounts, std::span<const int> displs,
                 const Comm& comm) {
+  if (comm.IsNull()) throw UsageError("Allgatherv: null communicator");
+  sanitize::OpRecord grec =
+      sanitize::MakeOp(sanitize::CollKind::kAllgatherv, /*root=*/-1,
+                       /*tag=*/-1, count,
+                       static_cast<std::uint32_t>(SizeOf(dt)));
+  if (sanitize::Enabled()) grec.counts_from = ToCounts(recvcounts);
+  sanitize::Scope san(comm, std::move(grec));
   Gatherv(send, count, dt, recv, recvcounts, displs, 0, comm);
   int total = 0;
   for (int c : recvcounts) total += c;
@@ -326,6 +380,9 @@ void Scatter(const void* send, int count, Datatype dt, void* recv, int root,
              const Comm& comm) {
   ValidateRoot(comm, root);
   if (count < 0) throw UsageError("Scatter: negative count");
+  sanitize::Scope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kScatter, root, kTagScatter,
+                             count, static_cast<std::uint32_t>(SizeOf(dt))));
   const int p = comm.Size();
   const int rank = comm.Rank();
   const auto tree = detail::BinomialTree::Compute(rank, p, root);
@@ -365,6 +422,13 @@ void Scatterv(const void* send, std::span<const int> sendcounts,
               std::span<const int> displs, Datatype dt, void* recv,
               int recvcount, int root, const Comm& comm) {
   ValidateRoot(comm, root);
+  sanitize::OpRecord srec =
+      sanitize::MakeOp(sanitize::CollKind::kScatterv, root, kTagScatterv,
+                       recvcount, static_cast<std::uint32_t>(SizeOf(dt)));
+  if (sanitize::Enabled() && comm.Rank() == root) {
+    srec.counts_to = ToCounts(sendcounts);
+  }
+  sanitize::Scope san(comm, std::move(srec));
   const int p = comm.Size();
   const int rank = comm.Rank();
   const auto tree = detail::BinomialTree::Compute(rank, p, root);
@@ -459,6 +523,10 @@ void Scatterv(const void* send, std::span<const int> sendcounts,
 void Alltoall(const void* send, int count, Datatype dt, void* recv,
               const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Alltoall: null communicator");
+  sanitize::Scope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kAlltoall, /*root=*/-1,
+                             kTagAlltoall, count,
+                             static_cast<std::uint32_t>(SizeOf(dt))));
   const int p = comm.Size();
   std::vector<int> counts(p, count), displs(p);
   for (int i = 0; i < p; ++i) displs[i] = i * count;
@@ -470,6 +538,15 @@ void Alltoallv(const void* send, std::span<const int> sendcounts,
                std::span<const int> recvcounts, std::span<const int> rdispls,
                const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Alltoallv: null communicator");
+  sanitize::OpRecord arec =
+      sanitize::MakeOp(sanitize::CollKind::kAlltoallv, /*root=*/-1,
+                       kTagAlltoall, /*count=*/-1,
+                       static_cast<std::uint32_t>(SizeOf(dt)));
+  if (sanitize::Enabled()) {
+    arec.counts_to = ToCounts(sendcounts);
+    arec.counts_from = ToCounts(recvcounts);
+  }
+  sanitize::Scope san(comm, std::move(arec));
   const int p = comm.Size();
   const int rank = comm.Rank();
   const std::size_t esize = SizeOf(dt);

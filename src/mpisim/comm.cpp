@@ -56,6 +56,23 @@ std::uint64_t Comm::CtxOf(Channel ch) const {
   return impl_->base * 4 + static_cast<std::uint64_t>(ch);
 }
 
+std::uint64_t Comm::GroupHash() const {
+  if (IsNull()) throw UsageError("Comm::GroupHash on null communicator");
+  if (impl_->group_hash == 0) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(impl_->group.Size()));
+    for (int r = 0; r < impl_->group.Size(); ++r) {
+      mix(static_cast<std::uint64_t>(impl_->group.WorldRank(r)));
+    }
+    impl_->group_hash = h != 0 ? h : 1;  // 0 marks "not yet computed"
+  }
+  return impl_->group_hash;
+}
+
 int Comm::NextNbcTag() const {
   if (IsNull()) throw UsageError("Comm::NextNbcTag on null communicator");
   return impl_->nbc_tag_counter++;

@@ -71,6 +71,10 @@ struct CommImpl {
   // locally keeps it synchronous across ranks (Section III discussion of
   // Hoefler & Lumsdaine's scheme).
   int nbc_tag_counter = 0;
+  // Content hash of `group` (lazily computed, cached). Mask context ids
+  // are recycled on destroy, so sanitizer ledgers key on (base, group
+  // hash) to survive id reuse across different groups.
+  mutable std::uint64_t group_hash = 0;
   // Releases this communicator's mask context id back to the owning rank's
   // bitmask. Must run on the rank's own thread (communicator handles are
   // rank-local, like real MPI handles).
@@ -117,6 +121,11 @@ class Comm {
 
   /// Envelope context id for a sub-channel of this communicator.
   std::uint64_t CtxOf(Channel ch) const;
+
+  /// FNV-1a hash over the group's world-rank membership (cached). Combined
+  /// with Base() it identifies a communicator for sanitizer ledgers even
+  /// after its mask context id has been recycled.
+  std::uint64_t GroupHash() const;
 
   /// Allocates the next nonblocking-collective tag (synchronous across
   /// ranks because all ranks call nonblocking collectives in order).

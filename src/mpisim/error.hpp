@@ -2,7 +2,9 @@
 // that reproduces the semantics (and the cost structure) of MPI for the
 // RBC / Janus Quicksort reproduction.
 //
-// Error types thrown by the substrate.
+// Error types thrown by the substrate. Every message is annotated with a
+// "[rank r/p]" prefix when thrown from inside a rank thread, so a failure
+// in a p-rank run always names the rank that raised it.
 #pragma once
 
 #include <stdexcept>
@@ -10,10 +12,18 @@
 
 namespace mpisim {
 
+namespace detail {
+/// Prepends "[rank r/p] " when called from a rank thread; identity
+/// otherwise. Defined in runtime.cpp, which owns the thread-local rank
+/// context.
+std::string AnnotateError(const std::string& what);
+}  // namespace detail
+
 /// Base class for every error raised by the mpisim substrate.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(detail::AnnotateError(what)) {}
 };
 
 /// Raised on API misuse (negative counts, out-of-range ranks, truncating
@@ -26,18 +36,57 @@ class UsageError : public Error {
 
 /// Raised in a rank that is blocked while another rank already failed; the
 /// runtime aborts all blocked ranks so the originating exception can be
-/// re-thrown from Runtime::Run().
+/// re-thrown from Runtime::Run(). `origin_rank()` is the world rank whose
+/// failure triggered the abort, or -1 when unknown.
 class AbortedError : public Error {
  public:
   AbortedError() : Error("mpisim: run aborted because another rank failed") {}
+  explicit AbortedError(int origin_rank)
+      : Error(origin_rank >= 0
+                  ? "mpisim: run aborted because rank " +
+                        std::to_string(origin_rank) + " failed"
+                  : "mpisim: run aborted because another rank failed"),
+        origin_rank_(origin_rank) {}
+
+  int origin_rank() const { return origin_rank_; }
+
+ private:
+  int origin_rank_ = -1;
 };
 
-/// Raised when a blocking operation exceeds the configured deadlock timeout.
-/// This exists purely as test hygiene: a wedged collective fails the test
-/// instead of hanging ctest.
+/// Raised when a blocking operation exceeds the configured deadlock timeout
+/// or when the runtime proves that no blocked rank can ever be woken. The
+/// message carries the per-rank wait-graph report assembled by
+/// BuildDeadlockReport (waitgraph.hpp) whenever a runtime is available.
 class DeadlockError : public Error {
  public:
   explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Raised by the collective sanitizer (RuntimeConfig::sanitize_collectives)
+/// when two ranks of one communicator disagree about the collective they
+/// are executing at the same sequence number: wrong root, skipped or
+/// reordered collective, divergent counts, mismatched payload. Names both
+/// world ranks and the divergent sequence numbers.
+class CollectiveMismatchError : public Error {
+ public:
+  CollectiveMismatchError(const std::string& what, int rank_a, int rank_b,
+                          long seq_a, long seq_b)
+      : Error(what), rank_a_(rank_a), rank_b_(rank_b), seq_a_(seq_a),
+        seq_b_(seq_b) {}
+
+  /// World rank that detected the mismatch.
+  int rank_a() const { return rank_a_; }
+  /// World rank whose recorded sequence diverges from rank_a's.
+  int rank_b() const { return rank_b_; }
+  long seq_a() const { return seq_a_; }
+  long seq_b() const { return seq_b_; }
+
+ private:
+  int rank_a_;
+  int rank_b_;
+  long seq_a_;
+  long seq_b_;
 };
 
 }  // namespace mpisim

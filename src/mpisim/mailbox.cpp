@@ -46,7 +46,7 @@ Message Mailbox::PopBlocking(std::uint64_t ctx, int src, int tag,
   std::unique_lock<std::mutex> lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
-    if (aborted_) throw AbortedError();
+    if (aborted_) throw AbortedError(abort_origin_);
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (it->env.Matches(ctx, src, tag)) {
         Message m = std::move(*it);
@@ -67,7 +67,7 @@ void Mailbox::PeekBlocking(std::uint64_t ctx, int src, int tag, Envelope* env,
   std::unique_lock<std::mutex> lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
-    if (aborted_) throw AbortedError();
+    if (aborted_) throw AbortedError(abort_origin_);
     if (const Message* m = FindLocked(ctx, src, tag)) {
       if (env != nullptr) *env = m->env;
       if (bytes != nullptr) *bytes = m->payload.size();
@@ -80,10 +80,11 @@ void Mailbox::PeekBlocking(std::uint64_t ctx, int src, int tag, Envelope* env,
   }
 }
 
-void Mailbox::Abort() {
+void Mailbox::Abort(int origin_rank) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     aborted_ = true;
+    if (abort_origin_ < 0) abort_origin_ = origin_rank;
   }
   cv_.notify_all();
 }
@@ -91,11 +92,25 @@ void Mailbox::Abort() {
 void Mailbox::ResetAbort() {
   std::lock_guard<std::mutex> lock(mu_);
   aborted_ = false;
+  abort_origin_ = -1;
 }
 
 std::size_t Mailbox::QueuedMessages() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+std::vector<Envelope> Mailbox::Snapshot(std::size_t max,
+                                        std::size_t* total) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total != nullptr) *total = queue_.size();
+  std::vector<Envelope> envs;
+  envs.reserve(std::min(max, queue_.size()));
+  for (const Message& m : queue_) {
+    if (envs.size() >= max) break;
+    envs.push_back(m.env);
+  }
+  return envs;
 }
 
 }  // namespace mpisim

@@ -13,6 +13,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "mpisim/error.hpp"
 #include "mpisim/message.hpp"
@@ -43,14 +44,20 @@ class Mailbox {
   void PeekBlocking(std::uint64_t ctx, int src, int tag, Envelope* env,
                     std::size_t* bytes, std::chrono::milliseconds timeout);
 
-  /// Marks the runtime as aborted and wakes all blocked waiters.
-  void Abort();
+  /// Marks the runtime as aborted and wakes all blocked waiters; they throw
+  /// AbortedError naming `origin_rank` (the world rank whose failure started
+  /// the abort) when it is known.
+  void Abort(int origin_rank = -1);
 
   /// Clears the aborted flag (a fresh Runtime::Run after a failed one).
   void ResetAbort();
 
   /// Number of queued (undelivered) messages; diagnostics only.
   std::size_t QueuedMessages() const;
+
+  /// Copies up to `max` queued envelopes (front of the queue first) and
+  /// reports the total queue length; deadlock forensics only.
+  std::vector<Envelope> Snapshot(std::size_t max, std::size_t* total) const;
 
  private:
   const Message* FindLocked(std::uint64_t ctx, int src, int tag) const;
@@ -59,6 +66,7 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool aborted_ = false;
+  int abort_origin_ = -1;
 };
 
 }  // namespace mpisim

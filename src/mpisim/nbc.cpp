@@ -7,6 +7,7 @@
 
 #include "mpisim/error.hpp"
 #include "mpisim/p2p.hpp"
+#include "mpisim/sanitizer.hpp"
 
 namespace mpisim {
 namespace detail {
@@ -727,9 +728,24 @@ class SparseAlltoallvSM final : public RequestImpl {
 }  // namespace
 }  // namespace detail
 
+namespace {
+/// Records a nonblocking collective's envelope at initiation time (the
+/// NBC-tag-counter precondition already requires all ranks to initiate in
+/// the same order, so initiation order is the checked sequence). The tag
+/// field stays -1: NBC tags are derived from the synchronized counter and
+/// carry no caller intent of their own.
+void RecordNbc(const Comm& comm, sanitize::OpRecord rec) {
+  rec.nonblocking = true;
+  sanitize::Scope san(comm, std::move(rec));
+}
+}  // namespace
+
 Request Ibcast(void* buf, int count, Datatype dt, int root, const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Ibcast: null communicator");
   if (root < 0 || root >= comm.Size()) throw UsageError("Ibcast: bad root");
+  RecordNbc(comm,
+            sanitize::MakeOp(sanitize::CollKind::kBcast, root, /*tag=*/-1,
+                             count, static_cast<std::uint32_t>(SizeOf(dt))));
   return Request(std::make_shared<detail::IbcastSM>(buf, count, dt, root,
                                                     comm,
                                                     2 * comm.NextNbcTag()));
@@ -739,6 +755,9 @@ Request Ireduce(const void* send, void* recv, int count, Datatype dt,
                 ReduceOp op, int root, const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Ireduce: null communicator");
   if (root < 0 || root >= comm.Size()) throw UsageError("Ireduce: bad root");
+  RecordNbc(comm,
+            sanitize::MakeOp(sanitize::CollKind::kReduce, root, /*tag=*/-1,
+                             count, static_cast<std::uint32_t>(SizeOf(dt))));
   return Request(std::make_shared<detail::IreduceSM>(
       send, recv, count, dt, op, root, comm, 2 * comm.NextNbcTag()));
 }
@@ -746,6 +765,9 @@ Request Ireduce(const void* send, void* recv, int count, Datatype dt,
 Request Iallreduce(const void* send, void* recv, int count, Datatype dt,
                    ReduceOp op, const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Iallreduce: null communicator");
+  RecordNbc(comm, sanitize::MakeOp(sanitize::CollKind::kAllreduce,
+                                   /*root=*/-1, /*tag=*/-1, count,
+                                   static_cast<std::uint32_t>(SizeOf(dt))));
   return Request(std::make_shared<detail::IReduceBcastChain>(
       send, recv, count, dt, op, comm, detail::NextTagPair(comm)));
 }
@@ -753,6 +775,9 @@ Request Iallreduce(const void* send, void* recv, int count, Datatype dt,
 Request Iscan(const void* send, void* recv, int count, Datatype dt,
               ReduceOp op, const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Iscan: null communicator");
+  RecordNbc(comm, sanitize::MakeOp(sanitize::CollKind::kScan, /*root=*/-1,
+                                   /*tag=*/-1, count,
+                                   static_cast<std::uint32_t>(SizeOf(dt))));
   return Request(std::make_shared<detail::IscanSM>(send, recv, count, dt, op,
                                                    comm,
                                                    2 * comm.NextNbcTag()));
@@ -762,6 +787,9 @@ Request Igather(const void* send, int count, Datatype dt, void* recv,
                 int root, const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Igather: null communicator");
   if (root < 0 || root >= comm.Size()) throw UsageError("Igather: bad root");
+  RecordNbc(comm,
+            sanitize::MakeOp(sanitize::CollKind::kGather, root, /*tag=*/-1,
+                             count, static_cast<std::uint32_t>(SizeOf(dt))));
   return Request(std::make_shared<detail::IgatherSM>(
       send, count, dt, recv, root, comm, 2 * comm.NextNbcTag()));
 }
@@ -771,6 +799,15 @@ Request Igatherv(const void* send, int count, Datatype dt, void* recv,
                  int root, const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Igatherv: null communicator");
   if (root < 0 || root >= comm.Size()) throw UsageError("Igatherv: bad root");
+  {
+    sanitize::OpRecord rec =
+        sanitize::MakeOp(sanitize::CollKind::kGatherv, root, /*tag=*/-1,
+                         count, static_cast<std::uint32_t>(SizeOf(dt)));
+    if (sanitize::Enabled() && comm.Rank() == root) {
+      rec.counts_from.assign(recvcounts.begin(), recvcounts.end());
+    }
+    RecordNbc(comm, std::move(rec));
+  }
   return Request(std::make_shared<detail::IgathervSM>(
       send, count, dt, recv, recvcounts, displs, root, comm,
       2 * comm.NextNbcTag()));
@@ -778,6 +815,7 @@ Request Igatherv(const void* send, int count, Datatype dt, void* recv,
 
 Request Ibarrier(const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Ibarrier: null communicator");
+  RecordNbc(comm, sanitize::MakeOp(sanitize::CollKind::kBarrier));
   return Request(
       std::make_shared<detail::IbarrierSM>(comm, detail::NextTagPair(comm)));
 }
@@ -786,6 +824,10 @@ Request IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
                          std::vector<SparseRecvMessage>* received,
                          const Comm& comm, std::int64_t segment_bytes) {
   if (comm.IsNull()) throw UsageError("IsparseAlltoallv: null communicator");
+  RecordNbc(comm, sanitize::MakeOp(sanitize::CollKind::kSparseAlltoallv,
+                                   /*root=*/-1, /*tag=*/-1, /*count=*/-1,
+                                   static_cast<std::uint32_t>(SizeOf(dt)),
+                                   segment_bytes));
   return Request(std::make_shared<detail::SparseAlltoallvSM>(
       sends, dt, received, comm, segment_bytes));
 }
@@ -794,6 +836,9 @@ Request Ialltoall(const void* send, int count, Datatype dt, void* recv,
                   const Comm& comm) {
   if (comm.IsNull()) throw UsageError("Ialltoall: null communicator");
   if (count < 0) throw UsageError("Ialltoall: negative count");
+  RecordNbc(comm, sanitize::MakeOp(sanitize::CollKind::kAlltoall,
+                                   /*root=*/-1, /*tag=*/-1, count,
+                                   static_cast<std::uint32_t>(SizeOf(dt))));
   const int p = comm.Size();
   std::vector<int> counts(static_cast<std::size_t>(p), count);
   std::vector<int> displs(static_cast<std::size_t>(p));
@@ -809,6 +854,18 @@ Request Ialltoallv(const void* send, std::span<const int> sendcounts,
                    std::span<const int> rdispls, const Comm& comm,
                    std::int64_t segment_bytes) {
   if (comm.IsNull()) throw UsageError("Ialltoallv: null communicator");
+  {
+    sanitize::OpRecord rec =
+        sanitize::MakeOp(sanitize::CollKind::kAlltoallv, /*root=*/-1,
+                         /*tag=*/-1, /*count=*/-1,
+                         static_cast<std::uint32_t>(SizeOf(dt)),
+                         segment_bytes);
+    if (sanitize::Enabled()) {
+      rec.counts_to.assign(sendcounts.begin(), sendcounts.end());
+      rec.counts_from.assign(recvcounts.begin(), recvcounts.end());
+    }
+    RecordNbc(comm, std::move(rec));
+  }
   return Request(std::make_shared<detail::IalltoallvSM>(
       send, sendcounts, sdispls, dt, recv, recvcounts, rdispls, comm,
       2 * comm.NextNbcTag(), segment_bytes));

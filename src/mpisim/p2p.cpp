@@ -106,12 +106,25 @@ void RecvOnChannel(void* buf, int count, Datatype dt, int src, int tag,
   ValidateCommon(comm, count, src, /*allow_any=*/true);
   RankContext& rc = Ctx();
   ValidateCaller(comm, rc);
-  Message m = rc.runtime->MailboxOf(rc.world_rank)
-                  .PopBlocking(comm.CtxOf(ch), src, tag,
-                               rc.runtime->options().deadlock_timeout);
-  CopyOut(m, buf, count, dt);
-  ChargeRecv(rc, m);
-  if (st != nullptr) *st = StatusOf(m);
+  Mailbox& mb = rc.runtime->MailboxOf(rc.world_rank);
+  const std::uint64_t ctx = comm.CtxOf(ch);
+  std::optional<Message> m = mb.TryPop(ctx, src, tag);
+  if (!m) {
+    // Slow path: register as blocked (the wait completes only via this one
+    // envelope pattern), then block on the mailbox.
+    ScopedWait guard(MakeWait("Recv", {{ctx, src, tag}}, /*known=*/true));
+    try {
+      m = mb.PopBlocking(ctx, src, tag,
+                         rc.runtime->options().deadlock_timeout);
+    } catch (const DeadlockError&) {
+      throw DeadlockError(BuildDeadlockReport(
+          *rc.runtime,
+          "mpisim: blocking receive timed out (suspected deadlock)"));
+    }
+  }
+  CopyOut(*m, buf, count, dt);
+  ChargeRecv(rc, *m);
+  if (st != nullptr) *st = StatusOf(*m);
 }
 
 Request IsendOnChannel(const void* buf, int count, Datatype dt, int dest,
@@ -153,11 +166,21 @@ void ProbeOnChannel(int src, int tag, const Comm& comm, Channel ch,
   ValidateCommon(comm, /*count=*/0, src, /*allow_any=*/true);
   RankContext& rc = Ctx();
   ValidateCaller(comm, rc);
+  Mailbox& mb = rc.runtime->MailboxOf(rc.world_rank);
+  const std::uint64_t ctx = comm.CtxOf(ch);
   Envelope env;
   std::size_t bytes = 0;
-  rc.runtime->MailboxOf(rc.world_rank)
-      .PeekBlocking(comm.CtxOf(ch), src, tag, &env, &bytes,
-                    rc.runtime->options().deadlock_timeout);
+  if (!mb.TryPeek(ctx, src, tag, &env, &bytes)) {
+    ScopedWait guard(MakeWait("Probe", {{ctx, src, tag}}, /*known=*/true));
+    try {
+      mb.PeekBlocking(ctx, src, tag, &env, &bytes,
+                      rc.runtime->options().deadlock_timeout);
+    } catch (const DeadlockError&) {
+      throw DeadlockError(BuildDeadlockReport(
+          *rc.runtime,
+          "mpisim: blocking probe timed out (suspected deadlock)"));
+    }
+  }
   if (st != nullptr) {
     *st = Status{.source = env.source, .tag = env.tag, .bytes = bytes};
   }
@@ -191,15 +214,7 @@ Request Irecv(void* buf, int count, Datatype dt, int src, int tag,
 
 void Probe(int src, int tag, const Comm& comm, Status* st) {
   if (comm.IsNull()) throw UsageError("Probe: null communicator");
-  RankContext& rc = Ctx();
-  Envelope env;
-  std::size_t bytes = 0;
-  rc.runtime->MailboxOf(rc.world_rank)
-      .PeekBlocking(comm.CtxOf(Channel::kUser), src, tag, &env, &bytes,
-                    rc.runtime->options().deadlock_timeout);
-  if (st != nullptr) {
-    *st = Status{.source = env.source, .tag = env.tag, .bytes = bytes};
-  }
+  detail::ProbeOnChannel(src, tag, comm, Channel::kUser, st);
 }
 
 bool Iprobe(int src, int tag, const Comm& comm, Status* st) {
@@ -218,17 +233,24 @@ bool Test(Request& req, Status* st) { return req.Test(st); }
 
 namespace {
 /// Shared spin-with-deadline used by Wait/Waitall: yields between polls,
-/// honours runtime aborts, and turns a stuck wait into DeadlockError.
+/// honours runtime aborts, and turns a stuck wait into DeadlockError with
+/// the full wait-graph report. A request spin may complete without any new
+/// message arriving, so it registers with known=false (waitgraph.hpp).
 template <typename Poll>
 void SpinUntil(Poll poll, const char* what) {
+  if (poll()) return;  // fast path: completed already, no registration
   RankContext& rc = Ctx();
+  ScopedWait guard(MakeWait(what));
   const auto deadline = std::chrono::steady_clock::now() +
                         rc.runtime->options().deadlock_timeout;
   while (!poll()) {
-    if (rc.runtime->Aborted()) throw AbortedError();
+    if (rc.runtime->Aborted()) {
+      throw AbortedError(rc.runtime->FirstFailedRank());
+    }
     if (std::chrono::steady_clock::now() > deadline) {
-      throw DeadlockError(std::string("mpisim: ") + what +
-                          " timed out (suspected deadlock)");
+      throw DeadlockError(BuildDeadlockReport(
+          *rc.runtime, std::string("mpisim: ") + what +
+                           " timed out (suspected deadlock)"));
     }
     std::this_thread::yield();
   }

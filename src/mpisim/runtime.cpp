@@ -1,14 +1,38 @@
 #include "mpisim/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 
 namespace mpisim {
 
 namespace {
 thread_local RankContext* tls_ctx = nullptr;
+
+/// MPISIM_SANITIZE / MPISIM_DEADLOCK_TIMEOUT_MS environment overrides; a
+/// set variable beats the programmatic option so any existing binary can
+/// be re-run under the sanitizer or with a short timeout.
+void ApplyEnvOverrides(Runtime::Options& o) {
+  if (const char* v = std::getenv("MPISIM_SANITIZE")) {
+    const std::string s(v);
+    o.sanitize_collectives = !(s == "0" || s == "false" || s == "off");
+  }
+  if (const char* v = std::getenv("MPISIM_DEADLOCK_TIMEOUT_MS")) {
+    const long ms = std::strtol(v, nullptr, 10);
+    if (ms > 0) o.deadlock_timeout = std::chrono::milliseconds(ms);
+  }
+}
 }  // namespace
+
+namespace detail {
+std::string AnnotateError(const std::string& what) {
+  if (tls_ctx == nullptr) return what;
+  return "[rank " + std::to_string(tls_ctx->world_rank) + "/" +
+         std::to_string(tls_ctx->world_size) + "] " + what;
+}
+}  // namespace detail
 
 RankContext& Ctx() {
   if (tls_ctx == nullptr) {
@@ -20,6 +44,7 @@ RankContext& Ctx() {
 bool InsideRank() { return tls_ctx != nullptr; }
 
 Runtime::Runtime(Options options) : options_(std::move(options)) {
+  ApplyEnvOverrides(options_);
   if (options_.num_ranks <= 0) {
     throw UsageError("Runtime: num_ranks must be positive");
   }
@@ -41,7 +66,10 @@ Runtime::Runtime(Options options) : options_(std::move(options)) {
 void Runtime::Run(const std::function<void(Comm&)>& rank_main) {
   const int p = options_.num_ranks;
   aborted_.store(false, std::memory_order_relaxed);
+  first_failed_rank_.store(-1, std::memory_order_relaxed);
+  waits_.Reset();
   for (auto& mb : mailboxes_) mb->ResetAbort();
+  for (auto& c : contexts_) c->sanitize_depth = 0;
   std::mutex err_mu;
   std::exception_ptr first_error;
 
@@ -59,8 +87,8 @@ void Runtime::Run(const std::function<void(Comm&)>& rank_main) {
         std::lock_guard<std::mutex> lock(err_mu);
         if (!first_error) first_error = std::current_exception();
       }
-      MarkAborted();
-      for (auto& mb : mailboxes_) mb->Abort();
+      MarkAborted(rank);
+      for (auto& mb : mailboxes_) mb->Abort(rank);
     }
     tls_ctx = nullptr;
   };

@@ -17,6 +17,8 @@
 #include "mpisim/comm.hpp"
 #include "mpisim/error.hpp"
 #include "mpisim/mailbox.hpp"
+#include "mpisim/sanitizer.hpp"
+#include "mpisim/waitgraph.hpp"
 
 namespace mpisim {
 
@@ -43,6 +45,9 @@ struct RankContext {
   std::bitset<kMaxMaskContexts> ctx_mask;
   /// Counter `b` of the Section-VI tuple scheme.
   std::uint32_t icomm_counter = 0;
+  /// Collective-sanitizer nesting depth; composite collectives record only
+  /// their outermost public entry (sanitizer.hpp).
+  int sanitize_depth = 0;
 };
 
 class Runtime {
@@ -52,8 +57,13 @@ class Runtime {
     CostModel cost{};
     VendorProfile profile = VendorProfile::kFast;
     std::uint64_t seed = 0x5EEDu;
-    /// Blocking operations throw DeadlockError after this long.
+    /// Blocking operations throw DeadlockError after this long. Overridable
+    /// via MPISIM_DEADLOCK_TIMEOUT_MS.
     std::chrono::milliseconds deadlock_timeout{60'000};
+    /// Records and cross-checks every collective's envelope per communicator
+    /// group; mismatches raise CollectiveMismatchError (sanitizer.hpp).
+    /// Overridable via MPISIM_SANITIZE=1 / MPISIM_SANITIZE=0.
+    bool sanitize_collectives = false;
   };
 
   explicit Runtime(Options options);
@@ -78,7 +88,25 @@ class Runtime {
   /// True once any rank failed; spin-waiting operations poll this so they
   /// terminate instead of waiting for messages that will never arrive.
   bool Aborted() const { return aborted_.load(std::memory_order_relaxed); }
-  void MarkAborted() { aborted_.store(true, std::memory_order_relaxed); }
+  /// `origin_rank` (when known) is the world rank whose failure started the
+  /// abort; the first caller wins, so forensics name the true origin.
+  void MarkAborted(int origin_rank = -1) {
+    aborted_.store(true, std::memory_order_relaxed);
+    if (origin_rank >= 0) {
+      int expected = -1;
+      first_failed_rank_.compare_exchange_strong(expected, origin_rank,
+                                                 std::memory_order_relaxed);
+    }
+  }
+  /// World rank whose failure aborted the run, or -1 when unknown.
+  int FirstFailedRank() const {
+    return first_failed_rank_.load(std::memory_order_relaxed);
+  }
+
+  /// Collective-correctness ledger (active when sanitize_collectives).
+  sanitize::Registry& Sanitizer() { return sanitizer_; }
+  /// Blocked-rank registry feeding deadlock detection and forensics.
+  WaitRegistry& Waits() { return waits_; }
 
   /// Maximum virtual time over all ranks (call after Run).
   double MaxVirtualTime() const;
@@ -92,6 +120,9 @@ class Runtime {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<RankContext>> contexts_;
   std::atomic<bool> aborted_{false};
+  std::atomic<int> first_failed_rank_{-1};
+  sanitize::Registry sanitizer_;
+  WaitRegistry waits_{this};
   std::mutex registry_mu_;
   std::unordered_map<TupleCtx, std::uint64_t, TupleCtxHash> tuple_registry_;
   std::uint64_t next_tuple_base_ = kMaxMaskContexts;
@@ -103,5 +134,8 @@ RankContext& Ctx();
 
 /// True when the calling thread is a rank thread.
 bool InsideRank();
+
+/// Spelling used by docs and tests for the runtime's option block.
+using RuntimeConfig = Runtime::Options;
 
 }  // namespace mpisim

@@ -30,6 +30,7 @@
 #include <utility>
 
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -189,6 +190,9 @@ std::shared_ptr<RequestImpl> MakeUniformSM(const void* send, int count,
 int Alltoall(const void* sendbuf, int count, Datatype dt, void* recvbuf,
              const Comm& comm) {
   detail::ValidateCollective(comm, 0, "Alltoall");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kAlltoall, /*root=*/-1,
+                             kTagAlltoall, count, mpisim::SizeOf(dt)));
   detail::RunToCompletion(
       detail::MakeUniformSM(sendbuf, count, dt, recvbuf, comm, kTagAlltoall),
       "Alltoall");
@@ -201,6 +205,10 @@ int Ialltoall(const void* sendbuf, int count, Datatype dt, void* recvbuf,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Ialltoall: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kAlltoall, /*root=*/-1, tag,
+                              count, mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(
       detail::MakeUniformSM(sendbuf, count, dt, recvbuf, comm, tag));
   return 0;
@@ -211,6 +219,14 @@ int Alltoallv(const void* sendbuf, std::span<const int> sendcounts,
               std::span<const int> recvcounts, std::span<const int> rdispls,
               const Comm& comm, std::int64_t segment_bytes) {
   detail::ValidateCollective(comm, 0, "Alltoallv");
+  auto arec = sanitize::MakeOp(sanitize::CollKind::kAlltoallv, /*root=*/-1,
+                               kTagAlltoallv, /*count=*/-1, mpisim::SizeOf(dt),
+                               segment_bytes);
+  if (sanitize::Enabled()) {
+    arec.counts_to = sanitize::ToCounts(sendcounts);
+    arec.counts_from = sanitize::ToCounts(recvcounts);
+  }
+  sanitize::CollectiveScope san(comm, std::move(arec));
   detail::RunToCompletion(
       std::make_shared<detail::AlltoallvSM>(sendbuf, sendcounts, sdispls, dt,
                                             recvbuf, recvcounts, rdispls,
@@ -229,6 +245,15 @@ int Ialltoallv(const void* sendbuf, std::span<const int> sendcounts,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Ialltoallv: null request");
   }
+  auto arec = sanitize::MakeOp(sanitize::CollKind::kAlltoallv, /*root=*/-1,
+                               tag, /*count=*/-1, mpisim::SizeOf(dt),
+                               segment_bytes);
+  arec.nonblocking = true;
+  if (sanitize::Enabled()) {
+    arec.counts_to = sanitize::ToCounts(sendcounts);
+    arec.counts_from = sanitize::ToCounts(recvcounts);
+  }
+  sanitize::CollectiveScope san(comm, std::move(arec));
   *request = Request(std::make_shared<detail::AlltoallvSM>(
       sendbuf, sendcounts, sdispls, dt, recvbuf, recvcounts, rdispls, comm,
       tag, segment_bytes));

@@ -3,6 +3,7 @@
 // within each pair of ranks the reduce message and the bcast message
 // travel in opposite directions, so envelopes never collide.
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -39,10 +40,18 @@ class BarrierSM final : public RequestImpl {
 };
 
 }  // namespace
+
+std::shared_ptr<RequestImpl> MakeBarrierSM(const Comm& comm, int tag) {
+  return std::make_shared<BarrierSM>(comm, tag, tag);
+}
+
 }  // namespace detail
 
 int Barrier(const Comm& comm) {
   detail::ValidateCollective(comm, 0, "Barrier");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kBarrier, /*root=*/-1,
+                             kTagBarrierUp));
   detail::RunToCompletion(
       std::make_shared<detail::BarrierSM>(comm, kTagBarrierUp,
                                           kTagBarrierDown),
@@ -55,6 +64,9 @@ int Ibarrier(const Comm& comm, Request* request, int tag) {
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Ibarrier: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kBarrier, /*root=*/-1, tag);
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(std::make_shared<detail::BarrierSM>(comm, tag, tag));
   return 0;
 }

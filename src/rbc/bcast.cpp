@@ -1,6 +1,7 @@
 // rbc::Bcast / rbc::Ibcast -- binomial-tree broadcast over RBC
 // point-to-point operations.
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -59,9 +60,17 @@ std::shared_ptr<RequestImpl> MakeBcastSM(void* buf, int count, Datatype dt,
 
 int Bcast(void* buffer, int count, Datatype dt, int root, const Comm& comm) {
   detail::ValidateCollective(comm, root, "Bcast");
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kBcast, root, kTagBcast,
+                              count, mpisim::SizeOf(dt));
+  const std::size_t bytes = detail::ByteCount(count, dt);
+  if (comm.Rank() == root && sanitize::Enabled()) {
+    rec.sig = sanitize::PayloadSignature(buffer, bytes);
+  }
+  sanitize::CollectiveScope san(comm, std::move(rec));
   detail::RunToCompletion(
       detail::MakeBcastSM(buffer, count, dt, root, comm, kTagBcast),
       "Bcast");
+  if (comm.Rank() != root) san.ArmExitSignatureCheck(buffer, bytes);
   return 0;
 }
 
@@ -71,6 +80,10 @@ int Ibcast(void* buffer, int count, Datatype dt, int root, const Comm& comm,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Ibcast: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kBcast, root, tag, count,
+                              mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request =
       Request(detail::MakeBcastSM(buffer, count, dt, root, comm, tag));
   return 0;

@@ -4,6 +4,7 @@
 // beta*l per tree edge (log p depth), at O(alpha*p) latency -- the classic
 // van-de-Geijn scheme, profitable for large payloads.
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -143,11 +144,19 @@ class BcastLargeSM final : public RequestImpl {
 int BcastLarge(void* buffer, int count, Datatype dt, int root,
                const Comm& comm) {
   detail::ValidateCollective(comm, root, "BcastLarge");
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kBcastLarge, root,
+                              kTagBcastLarge, count, mpisim::SizeOf(dt));
+  const std::size_t bytes = detail::ByteCount(count, dt);
+  if (comm.Rank() == root && sanitize::Enabled()) {
+    rec.sig = sanitize::PayloadSignature(buffer, bytes);
+  }
+  sanitize::CollectiveScope san(comm, std::move(rec));
   if (comm.Size() == 1) return 0;
   detail::RunToCompletion(
       std::make_shared<detail::BcastLargeSM>(buffer, count, dt, root, comm,
                                              kTagBcastLarge),
       "BcastLarge");
+  if (comm.Rank() != root) san.ArmExitSignatureCheck(buffer, bytes);
   return 0;
 }
 

@@ -93,6 +93,24 @@ int Ibarrier(const Comm& comm, Request* request, int tag = RBC_IBARRIER_TAG);
 // Simultaneous sparse exchanges on overlapping communicators therefore
 // need distinct payload tags, which also keeps their barrier and chunk
 // envelopes apart.
+//
+// Sequence tracking (MPISIM_SANITIZE=1): every public entry above --
+// blocking or nonblocking -- records exactly one logical collective in
+// the sanitizer ledger of its (underlying MPI comm, range) pair, keyed by
+// the op kind and, among other envelope fields, the tags of this map
+// (blocking forms record their exclusive kTag*, nonblocking forms the
+// caller-supplied tag). The rules:
+//   * one record per public call; the internal schedule's messages,
+//     composite sub-collectives (Allgather's Gather+Bcast, Barrier's
+//     reduce+bcast halves) and the sparse exchange's derived-tag fences
+//     (detail::MakeBarrierSM) are never recorded;
+//   * records of one (comm, range) pair are compared in per-member call
+//     order, so members of a range must issue the same collectives in the
+//     same order with consistent envelopes -- exactly the agreement the
+//     tag discipline above already demands;
+//   * distinct ranges over one MPI communicator keep independent
+//     sequences: concurrent collectives on disjoint or overlapping
+//     ranges are legal (with the usual tag rules) and never compared.
 inline constexpr int RBC_IALLREDUCE_TAG = kReservedTagBase + 22;
 inline constexpr int RBC_IALLGATHER_TAG = kReservedTagBase + 23;
 inline constexpr int RBC_IEXSCAN_TAG = kReservedTagBase + 24;  // +25 too

@@ -2,6 +2,7 @@
 // Allreduce, Allgather, Exscan, Scatter -- chained / inverted forms of the
 // core state machines, plus their nonblocking variants.
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -162,6 +163,9 @@ class ScatterSM final : public RequestImpl {
 int Allreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
               ReduceOp op, const Comm& comm) {
   detail::ValidateCollective(comm, 0, "Allreduce");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kAllreduce, /*root=*/-1,
+                             kTagAllreduce, count, mpisim::SizeOf(dt)));
   detail::RunToCompletion(
       detail::MakeAllreduceSM(sendbuf, recvbuf, count, dt, op, comm,
                               kTagAllreduce),
@@ -175,6 +179,10 @@ int Iallreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Iallreduce: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kAllreduce, /*root=*/-1,
+                              tag, count, mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(
       detail::MakeAllreduceSM(sendbuf, recvbuf, count, dt, op, comm, tag));
   return 0;
@@ -183,6 +191,11 @@ int Iallreduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
 int Allgather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
               const Comm& comm) {
   detail::ValidateCollective(comm, 0, "Allgather");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kAllgather, /*root=*/-1,
+                             kTagAllgather, count, mpisim::SizeOf(dt)));
+  // The inner Iallgather (and its Igather) record nothing: the per-rank
+  // depth guard keeps composite collectives to one outermost record.
   Request req;
   Iallgather(sendbuf, count, dt, recvbuf, comm, &req, kTagAllgather);
   Wait(&req);
@@ -195,6 +208,10 @@ int Iallgather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Iallgather: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kAllgather, /*root=*/-1,
+                              tag, count, mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   // Gather to 0, then broadcast the assembled buffer.
   rbc::Request gather_req;
   Igather(sendbuf, count, dt, recvbuf, 0, comm, &gather_req, tag);
@@ -226,6 +243,9 @@ int Iallgather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
 int Exscan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
            ReduceOp op, const Comm& comm) {
   detail::ValidateCollective(comm, 0, "Exscan");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kExscan, /*root=*/-1,
+                             kTagExscan, count, mpisim::SizeOf(dt)));
   detail::RunToCompletion(
       std::make_shared<detail::ExscanSM>(sendbuf, recvbuf, count, dt, op,
                                          comm, kTagExscan),
@@ -239,6 +259,10 @@ int Iexscan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Iexscan: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kExscan, /*root=*/-1, tag,
+                              count, mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(std::make_shared<detail::ExscanSM>(
       sendbuf, recvbuf, count, dt, op, comm, tag));
   return 0;
@@ -247,6 +271,9 @@ int Iexscan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
 int Scatter(const void* sendbuf, int count, Datatype dt, void* recvbuf,
             int root, const Comm& comm) {
   detail::ValidateCollective(comm, root, "Scatter");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kScatter, root, kTagScatter,
+                             count, mpisim::SizeOf(dt)));
   detail::RunToCompletion(
       std::make_shared<detail::ScatterSM>(sendbuf, count, dt, recvbuf, root,
                                           comm, kTagScatter),
@@ -260,6 +287,10 @@ int Iscatter(const void* sendbuf, int count, Datatype dt, void* recvbuf,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Iscatter: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kScatter, root, tag, count,
+                              mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(std::make_shared<detail::ScatterSM>(
       sendbuf, count, dt, recvbuf, root, comm, tag));
   return 0;

@@ -1,5 +1,6 @@
 // rbc::Gather / rbc::Igather -- binomial-tree gather of uniform blocks.
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -74,6 +75,9 @@ class GatherSM final : public RequestImpl {
 int Gather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
            int root, const Comm& comm) {
   detail::ValidateCollective(comm, root, "Gather");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kGather, root, kTagGather,
+                             count, mpisim::SizeOf(dt)));
   detail::RunToCompletion(
       std::make_shared<detail::GatherSM>(sendbuf, count, dt, recvbuf, root,
                                          comm, kTagGather),
@@ -87,6 +91,10 @@ int Igather(const void* sendbuf, int count, Datatype dt, void* recvbuf,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Igather: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kGather, root, tag, count,
+                              mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(std::make_shared<detail::GatherSM>(
       sendbuf, count, dt, recvbuf, root, comm, tag));
   return 0;

@@ -4,6 +4,7 @@
 // counts in relative-rank order. Sizes are discovered with
 // membership-filtered probes.
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -140,6 +141,12 @@ int Gatherv(const void* sendbuf, int count, Datatype dt, void* recvbuf,
             std::span<const int> recvcounts, std::span<const int> displs,
             int root, const Comm& comm) {
   detail::ValidateCollective(comm, root, "Gatherv");
+  auto grec = sanitize::MakeOp(sanitize::CollKind::kGatherv, root,
+                               kTagGatherv, count, mpisim::SizeOf(dt));
+  if (comm.Rank() == root && sanitize::Enabled()) {
+    grec.counts_from = sanitize::ToCounts(recvcounts);
+  }
+  sanitize::CollectiveScope san(comm, std::move(grec));
   detail::RunToCompletion(
       std::make_shared<detail::GathervSM>(sendbuf, count, dt, recvbuf,
                                           recvcounts, displs, root, comm,
@@ -155,6 +162,13 @@ int Igatherv(const void* sendbuf, int count, Datatype dt, void* recvbuf,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Igatherv: null request");
   }
+  auto grec = sanitize::MakeOp(sanitize::CollKind::kGatherv, root, tag, count,
+                               mpisim::SizeOf(dt));
+  grec.nonblocking = true;
+  if (comm.Rank() == root && sanitize::Enabled()) {
+    grec.counts_from = sanitize::ToCounts(recvcounts);
+  }
+  sanitize::CollectiveScope san(comm, std::move(grec));
   *request = Request(std::make_shared<detail::GathervSM>(
       sendbuf, count, dt, recvbuf, recvcounts, displs, root, comm, tag));
   return 0;

@@ -1,6 +1,7 @@
 // rbc::Reduce / rbc::Ireduce -- binomial-tree reduction over RBC
 // point-to-point operations (commutative operators).
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -80,6 +81,9 @@ std::shared_ptr<RequestImpl> MakeReduceSM(const void* send, void* recv,
 int Reduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
            ReduceOp op, int root, const Comm& comm) {
   detail::ValidateCollective(comm, root, "Reduce");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kReduce, root, kTagReduce,
+                             count, mpisim::SizeOf(dt)));
   detail::RunToCompletion(detail::MakeReduceSM(sendbuf, recvbuf, count, dt,
                                                op, root, comm, kTagReduce),
                           "Reduce");
@@ -93,6 +97,10 @@ int Ireduce(const void* sendbuf, void* recvbuf, int count, Datatype dt,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::Ireduce: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kReduce, root, tag, count,
+                              mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(
       detail::MakeReduceSM(sendbuf, recvbuf, count, dt, op, root, comm, tag));
   return 0;

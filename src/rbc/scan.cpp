@@ -2,6 +2,7 @@
 // distance-doubling (Hillis-Steele) rounds over RBC point-to-point
 // operations. O(alpha log p + beta l log p).
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -72,6 +73,9 @@ class ScanSM final : public RequestImpl {
 int Scan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
          ReduceOp op, const Comm& comm) {
   detail::ValidateCollective(comm, 0, "Scan");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kScan, /*root=*/-1, kTagScan,
+                             count, mpisim::SizeOf(dt)));
   detail::RunToCompletion(std::make_shared<detail::ScanSM>(
                               sendbuf, recvbuf, count, dt, op, comm,
                               kTagScan),
@@ -83,6 +87,10 @@ int Iscan(const void* sendbuf, void* recvbuf, int count, Datatype dt,
           ReduceOp op, const Comm& comm, Request* request, int tag) {
   detail::ValidateCollective(comm, 0, "Iscan");
   if (request == nullptr) throw mpisim::UsageError("rbc::Iscan: null request");
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kScan, /*root=*/-1, tag,
+                              count, mpisim::SizeOf(dt));
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(std::make_shared<detail::ScanSM>(sendbuf, recvbuf, count,
                                                       dt, op, comm, tag));
   return 0;

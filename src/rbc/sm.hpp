@@ -53,5 +53,10 @@ std::shared_ptr<RequestImpl> MakeReduceSM(const void* send, void* recv,
                                           int tag);
 std::shared_ptr<RequestImpl> MakeBcastSM(void* buf, int count, Datatype dt,
                                          int root, const Comm& comm, int tag);
+/// Bare barrier schedule (up and down share `tag`). Internal consumers
+/// (the sparse-exchange fences) use this instead of the public Ibarrier so
+/// the sanitizer never sees a schedule's internal fence as a user
+/// collective.
+std::shared_ptr<RequestImpl> MakeBarrierSM(const Comm& comm, int tag);
 
 }  // namespace rbc::detail

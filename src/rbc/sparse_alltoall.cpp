@@ -34,6 +34,7 @@
 #include <algorithm>
 
 #include "rbc/collectives.hpp"
+#include "rbc/sanitize.hpp"
 #include "rbc/sm.hpp"
 
 namespace rbc {
@@ -88,7 +89,7 @@ class SparseAlltoallvSM final : public RequestImpl {
             });
       }
     }
-    Ibarrier(comm_, &barrier_, kSparseBarrierBase + 2 * tag_);
+    barrier_ = Request(MakeBarrierSM(comm_, kSparseBarrierBase + 2 * tag_));
   }
 
   bool Test(Status*) override {
@@ -105,7 +106,10 @@ class SparseAlltoallvSM final : public RequestImpl {
                           const SparseRecvMessage& b) {
                          return a.source < b.source;
                        });
-      Ibarrier(comm_, &barrier_, kSparseBarrierBase + 2 * tag_ + 1);
+      // Test() runs outside the public entry's sanitizer scope; the
+      // factory keeps this internal fence out of the collective ledger.
+      barrier_ =
+          Request(MakeBarrierSM(comm_, kSparseBarrierBase + 2 * tag_ + 1));
       phase_ = 1;
     }
     return barrier_.Poll();
@@ -153,6 +157,10 @@ int SparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
                     std::vector<SparseRecvMessage>* received,
                     const Comm& comm, int tag, std::int64_t segment_bytes) {
   detail::ValidateCollective(comm, 0, "SparseAlltoallv");
+  sanitize::CollectiveScope san(
+      comm, sanitize::MakeOp(sanitize::CollKind::kSparseAlltoallv,
+                             /*root=*/-1, tag, /*count=*/-1,
+                             mpisim::SizeOf(dt), segment_bytes));
   detail::RunToCompletion(
       std::make_shared<detail::SparseAlltoallvSM>(sends, dt, received, comm,
                                                   tag, segment_bytes),
@@ -168,6 +176,11 @@ int IsparseAlltoallv(std::span<const SparseSendBlock> sends, Datatype dt,
   if (request == nullptr) {
     throw mpisim::UsageError("rbc::IsparseAlltoallv: null request");
   }
+  auto rec = sanitize::MakeOp(sanitize::CollKind::kSparseAlltoallv,
+                              /*root=*/-1, tag, /*count=*/-1,
+                              mpisim::SizeOf(dt), segment_bytes);
+  rec.nonblocking = true;
+  sanitize::CollectiveScope san(comm, std::move(rec));
   *request = Request(std::make_shared<detail::SparseAlltoallvSM>(
       sends, dt, received, comm, tag, segment_bytes));
   return 0;

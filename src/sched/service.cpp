@@ -56,17 +56,25 @@ struct SortService::SharedState {
       cv.notify_all();
       return;
     }
+    // Out-of-band barrier: register as a spin-wait (known=false) so a
+    // rank that died mid-wave yields a forensic wait-graph dump instead
+    // of a bare timeout. Registered after the arrival bookkeeping above
+    // -- only waiting ranks count as blocked.
+    mpisim::ScopedWait guard(mpisim::MakeWait("SortService wave barrier"));
     const auto deadline = std::chrono::steady_clock::now() +
                           rc.runtime->options().deadlock_timeout;
     while (generation == gen) {
-      if (rc.runtime->Aborted()) throw mpisim::AbortedError();
+      if (rc.runtime->Aborted()) {
+        throw mpisim::AbortedError(rc.runtime->FirstFailedRank());
+      }
       if (cv.wait_until(lock, std::min(deadline,
                                        std::chrono::steady_clock::now() +
                                            std::chrono::milliseconds(50))) ==
               std::cv_status::timeout &&
           std::chrono::steady_clock::now() >= deadline) {
-        throw mpisim::DeadlockError(
-            "SortService: wave barrier exceeded the deadlock timeout");
+        throw mpisim::DeadlockError(mpisim::BuildDeadlockReport(
+            *rc.runtime,
+            "SortService: wave barrier exceeded the deadlock timeout"));
       }
     }
   }

@@ -12,6 +12,11 @@
 //                     local and O(1) for contiguous ranges, but with full
 //                     MPI context isolation (an ablation beyond the paper's
 //                     measured configurations).
+//
+// Sanitizer coverage: Transport adds no communication of its own -- every
+// backend forwards to the mpisim or rbc collective entry points, so under
+// MPISIM_SANITIZE=1 all transport traffic is checked transitively by the
+// collective-correctness ledger (mpisim/sanitizer.hpp, rbc/sanitize.hpp).
 #pragma once
 
 #include <cstdint>
