@@ -41,9 +41,21 @@ bool Mailbox::TryPeek(std::uint64_t ctx, int src, int tag, Envelope* env,
   return true;
 }
 
+namespace {
+/// Clears Mailbox::parked_ on every exit path. Declared after the lock,
+/// so the flag is reset while mu_ is still held -- the invariant the
+/// deadlock detector's parked proof relies on.
+struct ParkScope {
+  explicit ParkScope(bool& flag) : flag_(flag) { flag_ = true; }
+  ~ParkScope() { flag_ = false; }
+  bool& flag_;
+};
+}  // namespace
+
 Message Mailbox::PopBlocking(std::uint64_t ctx, int src, int tag,
                              std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
+  ParkScope park(parked_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     if (aborted_) throw AbortedError(abort_origin_);
@@ -65,6 +77,7 @@ void Mailbox::PeekBlocking(std::uint64_t ctx, int src, int tag, Envelope* env,
                            std::size_t* bytes,
                            std::chrono::milliseconds timeout) {
   std::unique_lock<std::mutex> lock(mu_);
+  ParkScope park(parked_);
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     if (aborted_) throw AbortedError(abort_origin_);
@@ -93,6 +106,11 @@ void Mailbox::ResetAbort() {
   std::lock_guard<std::mutex> lock(mu_);
   aborted_ = false;
   abort_origin_ = -1;
+}
+
+bool Mailbox::HasParkedWaiter() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_;
 }
 
 std::size_t Mailbox::QueuedMessages() const {

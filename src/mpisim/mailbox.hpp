@@ -59,6 +59,14 @@ class Mailbox {
   /// reports the total queue length; deadlock forensics only.
   std::vector<Envelope> Snapshot(std::size_t max, std::size_t* total) const;
 
+  /// True while the owning rank's thread is inside PopBlocking or
+  /// PeekBlocking. The flag is cleared under mu_ before either call
+  /// returns (or throws), so observing it true together with "no
+  /// matching queued message" proves the waiter is parked in the cv wait
+  /// -- the deterministic half of proactive deadlock detection
+  /// (waitgraph.hpp).
+  bool HasParkedWaiter() const;
+
  private:
   const Message* FindLocked(std::uint64_t ctx, int src, int tag) const;
 
@@ -67,6 +75,7 @@ class Mailbox {
   std::deque<Message> queue_;
   bool aborted_ = false;
   int abort_origin_ = -1;
+  bool parked_ = false;
 };
 
 }  // namespace mpisim

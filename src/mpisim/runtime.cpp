@@ -68,6 +68,10 @@ void Runtime::Run(const std::function<void(Comm&)>& rank_main) {
   aborted_.store(false, std::memory_order_relaxed);
   first_failed_rank_.store(-1, std::memory_order_relaxed);
   waits_.Reset();
+  // Drop the sanitizer's ledgers too: after an aborted run, members sit
+  // at divergent sequence positions, and comparing a fresh run's ops
+  // against those leftovers would raise spurious mismatches.
+  sanitizer_.Reset();
   for (auto& mb : mailboxes_) mb->ResetAbort();
   for (auto& c : contexts_) c->sanitize_depth = 0;
   std::mutex err_mu;

@@ -171,7 +171,8 @@ class Registry {
   void CheckExitSignature(const GroupKey& key, int member, int member_world,
                           long seq, std::uint64_t sig);
 
-  /// Drops all ledgers (a fresh Runtime).
+  /// Drops all ledgers (called at the start of every Runtime::Run, so a
+  /// run aborted at divergent sequence positions cannot poison the next).
   void Reset();
 
  private:

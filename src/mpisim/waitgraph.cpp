@@ -61,32 +61,39 @@ void WaitRegistry::Register(int rank, WaitRecord rec) {
   auto& stack = stacks_[static_cast<std::size_t>(rank)];
   if (stack.empty()) ++blocked_ranks_;
   stack.push_back(std::move(rec));
-  if (blocked_ranks_ < p || !AllProvablyStuckLocked()) return;
+  if (blocked_ranks_ < p || !AllWaitsUnsatisfiableLocked()) return;
 
   // Tentative deadlock: every rank is registered-blocked with known,
-  // currently unsatisfiable patterns. Confirm over a short window -- a
-  // rank whose wait completed but whose guard has not unregistered yet is
-  // still runnable and will unregister almost immediately.
+  // currently unsatisfiable patterns. Demand a deterministic proof
+  // before raising: every *other* rank must additionally be parked in
+  // its mailbox's cv wait. The mailbox clears the parked flag under its
+  // own lock before any blocking call returns, so a rank whose wait just
+  // completed (popped its message, guard not yet unregistered) is never
+  // counted as stuck, however long it stays descheduled. With all p
+  // ranks blocked in plain receives/probes no rank can post a message,
+  // so parked + no matching message cannot spontaneously resolve. A rank
+  // that registered but has not reached the cv wait yet gets a short
+  // grace period; if the proof still does not close, stand down -- the
+  // wall-clock timeout forensics cover any deadlock missed here.
   const auto timeout = rt_->options().deadlock_timeout;
-  const auto confirm = std::max<std::chrono::milliseconds>(
+  const auto grace = std::max<std::chrono::milliseconds>(
       std::chrono::milliseconds(2),
       std::min(std::chrono::milliseconds(50), timeout / 4));
-  const std::uint64_t epoch = unregister_epoch_;
-  const auto until = std::chrono::steady_clock::now() + confirm;
-  while (std::chrono::steady_clock::now() < until) {
+  const auto until = std::chrono::steady_clock::now() + grace;
+  while (!AllPeersParkedLocked(rank)) {
+    if (std::chrono::steady_clock::now() >= until) return;  // unproven
     lock.unlock();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     lock.lock();
-    if (unregister_epoch_ != epoch || blocked_ranks_ < p ||
-        !AllProvablyStuckLocked()) {
+    if (blocked_ranks_ < p || !AllWaitsUnsatisfiableLocked()) {
       return;  // progress happened; not a deadlock
     }
   }
 
-  // Confirmed: no rank can ever be woken. Dump the wait graph, wake all
-  // cv-blocked ranks (they unwind with AbortedError), and raise from the
-  // rank that completed the cycle.
-  std::string waits = DescribeWaits();
+  // Proven: no rank can ever be woken. Dump the wait graph, wake all
+  // cv-blocked ranks (they unwind with AbortedError naming this rank as
+  // the origin), and raise from the rank that completed the cycle.
+  std::string waits = DescribeWaitsLocked();
   // This rank's guard never constructs (Register throws), so unwind its
   // own registration here.
   stack.pop_back();
@@ -95,11 +102,11 @@ void WaitRegistry::Register(int rank, WaitRecord rec) {
 
   std::ostringstream header;
   header << "mpisim: deadlock detected (no runnable rank, non-empty wait "
-            "set; proven before the "
-         << timeout.count() << " ms timeout)";
+            "set; proven by rank "
+         << rank << " before the " << timeout.count() << " ms timeout)";
   std::string report = BuildDeadlockReportFromWaits(*rt_, header.str(), waits);
-  rt_->MarkAborted();
-  for (int r = 0; r < p; ++r) rt_->MailboxOf(r).Abort();
+  rt_->MarkAborted(rank);
+  for (int r = 0; r < p; ++r) rt_->MailboxOf(r).Abort(rank);
   throw DeadlockError(report);
 }
 
@@ -110,7 +117,6 @@ void WaitRegistry::Unregister(int rank) {
   if (stack.empty()) return;
   stack.pop_back();
   if (stack.empty()) --blocked_ranks_;
-  ++unregister_epoch_;
 }
 
 void WaitRegistry::Reset() {
@@ -119,7 +125,7 @@ void WaitRegistry::Reset() {
   blocked_ranks_ = 0;
 }
 
-bool WaitRegistry::AllProvablyStuckLocked() {
+bool WaitRegistry::AllWaitsUnsatisfiableLocked() {
   const int p = rt_->options().num_ranks;
   if (static_cast<int>(stacks_.size()) < p) return false;
   for (int r = 0; r < p; ++r) {
@@ -142,11 +148,27 @@ bool WaitRegistry::AllProvablyStuckLocked() {
   return true;
 }
 
+bool WaitRegistry::AllPeersParkedLocked(int self) {
+  // Order matters for soundness: the unsatisfiable check (no matching
+  // queued message) ran first in the same mu_ critical section, and with
+  // every rank registered in a known blocking wait no rank can post, so
+  // a waiter observed parked here cannot wake before we finish. The
+  // registering rank itself is exempt: it is still inside Register,
+  // about to park on a pattern nobody can satisfy.
+  const int p = rt_->options().num_ranks;
+  for (int r = 0; r < p; ++r) {
+    if (r == self) continue;
+    if (!rt_->MailboxOf(r).HasParkedWaiter()) return false;
+  }
+  return true;
+}
+
 std::string WaitRegistry::DescribeWaits() {
-  // Callers either hold mu_ (Register) or run after the run ended
-  // (timeout paths); a recursive description lock is not needed because
-  // the vectors are only mutated under mu_ by rank threads, and the
-  // timeout path tolerates a racy snapshot (diagnostics only).
+  std::lock_guard<std::mutex> lock(mu_);
+  return DescribeWaitsLocked();
+}
+
+std::string WaitRegistry::DescribeWaitsLocked() {
   std::ostringstream os;
   const int p = rt_->options().num_ranks;
   for (int r = 0; r < p; ++r) {

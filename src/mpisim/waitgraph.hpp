@@ -16,12 +16,16 @@
 //    known=false and conservatively disable proactive detection while
 //    they are blocked; the timeout path below still covers them.
 //
-//    Detection confirms before it fires: a rank whose wait just completed
-//    may not have unregistered yet (the window between popping the
-//    matching message and running the guard's destructor). The detector
-//    re-verifies the frozen wait set over a short confirmation window
-//    (a fraction of the deadlock timeout); a genuinely runnable rank
-//    unregisters within it and cancels the report.
+//    Detection demands a deterministic proof before it fires: besides
+//    every pattern being unsatisfiable, every other rank's waiter must be
+//    *parked* inside its mailbox's condition-variable wait. The mailbox
+//    clears the parked flag under its own lock before any blocking call
+//    returns, so a rank whose wait just completed (message popped, guard
+//    destructor not yet run) is never counted as stuck, no matter how
+//    long it stays descheduled. A rank that is registered but not yet
+//    parked gets a short grace period to reach the cv wait; if the proof
+//    still does not close, the detector stands down and the wall-clock
+//    timeout forensics below cover the deadlock instead.
 //
 //  * Timeout forensics. Every timeout path (blocking receive/probe,
 //    Wait/Waitall spins, rbc spins, the service's out-of-band wave
@@ -53,18 +57,18 @@ struct WaitPattern {
 /// known=false marks waits that may complete without any new message
 /// (request spins); their patterns, if any, are informational only.
 struct WaitRecord {
-  const char* what = "";
+  std::string what;
   std::vector<WaitPattern> patterns;
   bool known = false;
   double vtime = 0.0;
 };
 
 /// Builder; vtime is stamped by ScopedWait at registration.
-inline WaitRecord MakeWait(const char* what,
+inline WaitRecord MakeWait(std::string what,
                            std::vector<WaitPattern> patterns = {},
                            bool known = false) {
   WaitRecord r;
-  r.what = what;
+  r.what = std::move(what);
   r.patterns = std::move(patterns);
   r.known = known;
   return r;
@@ -87,20 +91,27 @@ class WaitRegistry {
   void Reset();
 
   /// Formats the per-rank wait set (no header, no mailbox contents);
-  /// BuildDeadlockReport composes the full report.
+  /// BuildDeadlockReport composes the full report. Takes mu_; rank
+  /// threads may still be registering/unregistering concurrently.
   std::string DescribeWaits();
 
  private:
+  std::string DescribeWaitsLocked();
+
   /// True iff all p ranks are blocked with known patterns and at least
   /// one pattern per rank has no matching queued message. Caller holds
   /// mu_.
-  bool AllProvablyStuckLocked();
+  bool AllWaitsUnsatisfiableLocked();
+
+  /// True iff every rank except `self` is parked inside its mailbox's cv
+  /// wait (the deterministic half of the deadlock proof). Caller holds
+  /// mu_.
+  bool AllPeersParkedLocked(int self);
 
   Runtime* rt_;
   std::mutex mu_;
   std::vector<std::vector<WaitRecord>> stacks_;  // per rank, nested waits
   int blocked_ranks_ = 0;
-  std::uint64_t unregister_epoch_ = 0;
 };
 
 /// RAII registration guard; a no-op outside rank threads.

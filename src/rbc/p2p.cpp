@@ -90,8 +90,7 @@ void SpinUntil(const std::function<bool()>& poll, const char* what) {
   // Register as a spin-wait (known=false): the schedule's data dependency
   // is not a single envelope pattern, so proactive detection stands down
   // and the timeout forensics below cover the deadlock case.
-  mpisim::ScopedWait guard(
-      mpisim::MakeWait((std::string("rbc: ") + what).c_str()));
+  mpisim::ScopedWait guard(mpisim::MakeWait(std::string("rbc: ") + what));
   const auto deadline = std::chrono::steady_clock::now() +
                         rc.runtime->options().deadlock_timeout;
   while (!poll()) {

@@ -184,6 +184,30 @@ TEST(Sanitizer, SanitizedSortPipelineRuns) {
   });
 }
 
+TEST(Sanitizer, LedgerResetBetweenRuns) {
+  // A run that aborts mid-sequence leaves members at divergent ledger
+  // positions (rank 0 recorded one op, the others two). The next Run on
+  // the same Runtime must start from a fresh ledger; comparing against
+  // the failed run's leftovers would flag this clean run as a mismatch.
+  mpisim::Runtime rt(SanitizedOpts(4));
+  try {
+    rt.Run([](mpisim::Comm& world) {
+      mpisim::Barrier(world);
+      if (world.Rank() == 0) throw mpisim::Error("injected failure");
+      double x = 0.0;
+      mpisim::Bcast(&x, 1, Datatype::kFloat64, 0, world);
+    });
+    FAIL() << "expected the injected failure to re-throw";
+  } catch (const CollectiveMismatchError& e) {
+    FAIL() << "unexpected mismatch: " << e.what();
+  } catch (const mpisim::Error&) {
+  }
+  rt.Run([](mpisim::Comm& world) {
+    mpisim::Barrier(world);
+    mpisim::Barrier(world);
+  });
+}
+
 TEST(Sanitizer, EnvOverrideEnablesAndDisables) {
   const char* old = std::getenv("MPISIM_SANITIZE");
   const std::string saved = old != nullptr ? old : "";
