@@ -67,6 +67,7 @@ inline const char* ModeName(jsort::exchange::Mode mode) {
     case jsort::exchange::Mode::kAlltoallv: return "dense";
     case jsort::exchange::Mode::kCoalesced: return "coalesced";
     case jsort::exchange::Mode::kSparse: return "sparse";
+    case jsort::exchange::Mode::kHierarchical: return "hier";
     case jsort::exchange::Mode::kAuto: return "auto";
   }
   return "?";

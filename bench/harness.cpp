@@ -225,6 +225,35 @@ struct JsonScanner {
 
 }  // namespace
 
+bool ApplyCostModelOverride(mpisim::CostModel* cost, std::string_view key,
+                            double value) {
+  if (key == "alpha") {
+    cost->alpha = value;
+  } else if (key == "beta") {
+    cost->beta = value;
+  } else if (key == "intra_alpha") {
+    cost->intra_alpha = value;
+  } else if (key == "intra_beta") {
+    cost->intra_beta = value;
+  } else if (key == "inter_alpha") {
+    cost->inter_alpha = value;
+  } else if (key == "inter_beta") {
+    cost->inter_beta = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+mpisim::CostModel CostModelOf(
+    const std::vector<std::pair<std::string, double>>& overrides) {
+  mpisim::CostModel cost;
+  for (const auto& [key, value] : overrides) {
+    ApplyCostModelOverride(&cost, key, value);
+  }
+  return cost;
+}
+
 bool BenchReport::ValidJson(std::string_view text) {
   JsonScanner s{text};
   if (!s.Value()) return false;
@@ -240,6 +269,16 @@ std::string BenchReport::RenderJson() const {
   out += "\"reps\": " + std::to_string(meta_.reps) + ", ";
   out += std::string("\"smoke\": ") + (meta_.smoke ? "true" : "false") + ", ";
   out += "\"seed\": " + std::to_string(meta_.seed) + ", ";
+  if (!meta_.cost_model.empty()) {
+    out += "\"cost_model\": {";
+    bool first_cm = true;
+    for (const auto& [key, value] : meta_.cost_model) {
+      if (!first_cm) out += ", ";
+      first_cm = false;
+      out += "\"" + EscapeJson(key) + "\": " + JsonNumber(value);
+    }
+    out += "}, ";
+  }
   out += "\"git_describe\": \"" + EscapeJson(meta_.git_describe) + "\", ";
   out += "\"schema_version\": 2},\n  \"rows\": [";
   bool first = true;
@@ -341,6 +380,41 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       const char* v = needs_value("--filter");
       if (v == nullptr) return opt;
       opt.filter = v;
+    } else if (arg == "--cost-model") {
+      const char* v = needs_value("--cost-model");
+      if (v == nullptr) return opt;
+      // k=v pairs, comma-separated; keys validated against the CostModel
+      // fields so a typo fails the run instead of silently measuring the
+      // default model.
+      std::string_view rest = v;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string_view pair = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string_view::npos || eq == 0) {
+          opt.error = "--cost-model expects k=v pairs, got '" +
+                      std::string(pair) + "'";
+          return opt;
+        }
+        const std::string key(pair.substr(0, eq));
+        const std::string val(pair.substr(eq + 1));
+        char* end = nullptr;
+        const double value = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0') {
+          opt.error = "--cost-model: '" + val + "' is not a number";
+          return opt;
+        }
+        mpisim::CostModel probe;
+        if (!ApplyCostModelOverride(&probe, key, value)) {
+          opt.error = "--cost-model: unknown key '" + key +
+                      "' (alpha, beta, intra_alpha, intra_beta, "
+                      "inter_alpha, inter_beta)";
+          return opt;
+        }
+        opt.cost_model.emplace_back(key, value);
+      }
     } else {
       opt.error = "unknown option: " + std::string(arg);
       return opt;
@@ -366,7 +440,13 @@ void PrintUsage(const BenchSpec& spec, std::FILE* to) {
                "instead of stdout\n"
                "  --list           list section names and exit\n"
                "  --filter SUBSTR  run only sections whose name contains "
-               "SUBSTR\n",
+               "SUBSTR\n"
+               "  --cost-model K=V[,K=V...]\n"
+               "                   override cost-model fields (alpha, "
+               "beta, intra_alpha,\n"
+               "                   intra_beta, inter_alpha, inter_beta); "
+               "recorded in the\n"
+               "                   JSON meta as \"cost_model\"\n",
                spec.binary.c_str(), spec.description.c_str(),
                spec.figure.c_str(), spec.binary.c_str());
 }
@@ -399,8 +479,10 @@ int BenchMain(int argc, char** argv, const BenchSpec& spec) {
   meta.seed = opt.seed >= 0 ? opt.seed : spec.default_seed;
   meta.git_describe = kGitDescribe;
   meta.reps = opt.reps > 0 ? opt.reps : (opt.smoke ? 1 : spec.default_reps);
+  meta.cost_model = opt.cost_model;
   BenchReport report(meta);
-  BenchContext ctx(report, opt.smoke, opt.reps, meta.seed);
+  BenchContext ctx(report, opt.smoke, opt.reps, meta.seed,
+                   CostModelOf(opt.cost_model));
 
   int matched = 0;
   for (const BenchSection& s : spec.sections) {

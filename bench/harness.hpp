@@ -34,6 +34,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "benchutil.hpp"
@@ -80,6 +81,10 @@ struct BenchMeta {
   bool smoke = false;
   long long seed = 0;        // effective randomization seed of the run
   std::string git_describe;  // configure-time `git describe` of the tree
+  /// --cost-model overrides in command-line order, pinned into the JSON
+  /// meta as a "cost_model" object (omitted when empty) so a committed
+  /// snapshot records the exact model it was measured under.
+  std::vector<std::pair<std::string, double>> cost_model;
 };
 
 /// Accumulates declared rows and renders them to the two outputs. Pure
@@ -133,10 +138,19 @@ class BenchReport {
 class BenchContext {
  public:
   BenchContext(BenchReport& report, bool smoke, int cli_reps,
-               long long seed = 0)
-      : report_(report), smoke_(smoke), cli_reps_(cli_reps), seed_(seed) {}
+               long long seed = 0, mpisim::CostModel cost = {})
+      : report_(report),
+        smoke_(smoke),
+        cli_reps_(cli_reps),
+        seed_(seed),
+        cost_(cost) {}
 
   bool smoke() const { return smoke_; }
+
+  /// The run's cost model: defaults plus the --cost-model CLI overrides.
+  /// Sections that build their own mpisim::Runtime should seed
+  /// Options.cost from this so the recorded meta matches the simulation.
+  const mpisim::CostModel& cost() const { return cost_; }
 
   /// Repetition count resolution: an explicit --reps wins; otherwise
   /// smoke mode collapses to 1; otherwise the section's full default.
@@ -162,6 +176,7 @@ class BenchContext {
   bool smoke_;
   int cli_reps_;
   long long seed_;
+  mpisim::CostModel cost_;
 };
 
 /// One named, filterable unit of a benchmark binary.
@@ -191,8 +206,22 @@ struct BenchOptions {
   long long seed = -1;    // < 0 = use the spec's default_seed
   std::string filter;     // substring match on section names
   std::string json_path;  // empty = stdout
+  /// --cost-model k=v,... overrides (alpha, beta, intra_alpha,
+  /// intra_beta, inter_alpha, inter_beta), in command-line order.
+  std::vector<std::pair<std::string, double>> cost_model;
   std::string error;      // non-empty = malformed command line
 };
+
+/// Applies one --cost-model override to `cost`. Returns false on an
+/// unknown key. The two-level keys make the model hierarchical
+/// (mpisim::CostModel::Hierarchical()).
+bool ApplyCostModelOverride(mpisim::CostModel* cost, std::string_view key,
+                            double value);
+
+/// The effective cost model of a run: defaults plus every --cost-model
+/// override, in order.
+mpisim::CostModel CostModelOf(
+    const std::vector<std::pair<std::string, double>>& overrides);
 
 /// Parses argv. Exposed separately for the unit tests.
 BenchOptions ParseBenchOptions(int argc, char** argv);

@@ -17,6 +17,14 @@ namespace mpisim {
 /// Parameters of the single-ported alpha-beta model, in abstract model time
 /// units (think microseconds). Defaults approximate a commodity cluster:
 /// a startup is 500x the per-word cost.
+///
+/// The model is optionally *two-level* (node-aware): when any of the
+/// intra_/inter_ overrides is set (>= 0), messages between ranks on the
+/// same node of the installed topo::Topology are charged the intra
+/// parameters and messages crossing nodes the inter parameters. Unset
+/// overrides (< 0, the default) inherit the flat alpha/beta, so a default
+/// CostModel computes bit-for-bit the same costs as before the two-level
+/// extension existed.
 struct CostModel {
   /// Per-message startup overhead (Section II: alpha).
   double alpha = 10.0;
@@ -31,9 +39,40 @@ struct CostModel {
   /// for 2^10 ranks, i.e. roughly 1 model-microsecond per member.
   double group_entry = 0.5;
 
-  /// Model cost of one message of `bytes` payload bytes.
+  /// Two-level overrides; < 0 = unset (inherit alpha/beta above).
+  double intra_alpha = -1.0;
+  double intra_beta = -1.0;
+  double inter_alpha = -1.0;
+  double inter_beta = -1.0;
+
+  /// True when any two-level override is set -- the substrate then
+  /// distinguishes intra-node from inter-node messages.
+  bool Hierarchical() const {
+    return intra_alpha >= 0.0 || intra_beta >= 0.0 || inter_alpha >= 0.0 ||
+           inter_beta >= 0.0;
+  }
+
+  double AlphaFor(bool inter) const {
+    const double a = inter ? inter_alpha : intra_alpha;
+    return a >= 0.0 ? a : alpha;
+  }
+  double BetaFor(bool inter) const {
+    const double b = inter ? inter_beta : intra_beta;
+    return b >= 0.0 ? b : beta;
+  }
+
+  /// Model cost of one message of `bytes` payload bytes (flat model, and
+  /// the exact arithmetic of the pre-two-level substrate).
   double MessageCost(std::uint64_t bytes) const {
     return alpha + beta * (static_cast<double>(bytes) / 8.0);
+  }
+
+  /// Node-aware cost: `inter` says whether the message crosses nodes.
+  /// With no overrides set this is byte-identical to MessageCost(bytes).
+  double MessageCost(std::uint64_t bytes, bool inter) const {
+    if (!Hierarchical()) return MessageCost(bytes);
+    return AlphaFor(inter) +
+           BetaFor(inter) * (static_cast<double>(bytes) / 8.0);
   }
 };
 
@@ -71,6 +110,13 @@ struct Stats {
   /// A running high-water mark: zero it before an operation to measure
   /// that operation alone.
   std::uint64_t max_message_bytes = 0;
+  /// Subset of the send/receive counters above crossing node boundaries
+  /// of the installed topo::Topology (always 0 on a flat topology -- a
+  /// flat machine has a single node).
+  std::uint64_t inter_messages_sent = 0;
+  std::uint64_t inter_bytes_sent = 0;
+  std::uint64_t inter_messages_received = 0;
+  std::uint64_t inter_bytes_received = 0;
 
   Stats& operator+=(const Stats& o) {
     messages_sent += o.messages_sent;
@@ -80,6 +126,10 @@ struct Stats {
     if (o.max_message_bytes > max_message_bytes) {
       max_message_bytes = o.max_message_bytes;
     }
+    inter_messages_sent += o.inter_messages_sent;
+    inter_bytes_sent += o.inter_bytes_sent;
+    inter_messages_received += o.inter_messages_received;
+    inter_bytes_received += o.inter_bytes_received;
     return *this;
   }
 };

@@ -25,13 +25,22 @@ void ValidateCaller(const Comm& comm, const RankContext& rc) {
 }
 
 /// Charges the receiver's share of the single-ported message cost: ready at
-/// max(own time, sender injection start) + alpha + beta*l.
+/// max(own time, sender injection start) + alpha + beta*l. Node-aware: a
+/// message whose sender lives on another node of the installed topology is
+/// charged the inter-node parameters and counted in the inter_* stats.
 void ChargeRecv(RankContext& rc, const Message& m) {
-  const double c = rc.runtime->options().cost.MessageCost(m.payload.size());
+  const bool inter =
+      !rc.runtime->SameNode(m.env.source_global, rc.world_rank);
+  const double c =
+      rc.runtime->options().cost.MessageCost(m.payload.size(), inter);
   rc.clock.Merge(m.timestamp - c);
   rc.clock.Advance(c);
   rc.stats.messages_received += 1;
   rc.stats.bytes_received += m.payload.size();
+  if (inter) {
+    rc.stats.inter_messages_received += 1;
+    rc.stats.inter_bytes_received += m.payload.size();
+  }
 }
 
 void CopyOut(const Message& m, void* buf, int count, Datatype dt) {
@@ -86,7 +95,9 @@ void SendOnChannel(const void* buf, int count, Datatype dt, int dest, int tag,
   RankContext& rc = Ctx();
   ValidateCaller(comm, rc);
   const std::size_t bytes = static_cast<std::size_t>(count) * SizeOf(dt);
-  rc.clock.Advance(rc.runtime->options().cost.MessageCost(bytes));
+  const int dest_world = comm.WorldRank(dest);
+  const bool inter = !rc.runtime->SameNode(rc.world_rank, dest_world);
+  rc.clock.Advance(rc.runtime->options().cost.MessageCost(bytes, inter));
   Message m;
   m.env = Envelope{.context = comm.CtxOf(ch), .source = comm.Rank(),
                    .source_global = rc.world_rank, .tag = tag};
@@ -98,7 +109,11 @@ void SendOnChannel(const void* buf, int count, Datatype dt, int dest, int tag,
   if (bytes > rc.stats.max_message_bytes) {
     rc.stats.max_message_bytes = bytes;
   }
-  rc.runtime->MailboxOf(comm.WorldRank(dest)).Post(std::move(m));
+  if (inter) {
+    rc.stats.inter_messages_sent += 1;
+    rc.stats.inter_bytes_sent += bytes;
+  }
+  rc.runtime->MailboxOf(dest_world).Post(std::move(m));
 }
 
 void RecvOnChannel(void* buf, int count, Datatype dt, int src, int tag,

@@ -48,6 +48,14 @@ Runtime::Runtime(Options options) : options_(std::move(options)) {
   if (options_.num_ranks <= 0) {
     throw UsageError("Runtime: num_ranks must be positive");
   }
+  if (const std::string err = options_.topology.Validate(options_.num_ranks);
+      !err.empty()) {
+    throw UsageError("Runtime: " + err);
+  }
+  node_of_.resize(options_.num_ranks);
+  for (int r = 0; r < options_.num_ranks; ++r) {
+    node_of_[r] = options_.topology.NodeOf(r);
+  }
   mailboxes_.reserve(options_.num_ranks);
   contexts_.reserve(options_.num_ranks);
   for (int r = 0; r < options_.num_ranks; ++r) {

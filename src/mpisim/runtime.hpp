@@ -19,6 +19,7 @@
 #include "mpisim/mailbox.hpp"
 #include "mpisim/sanitizer.hpp"
 #include "mpisim/waitgraph.hpp"
+#include "topo/topology.hpp"
 
 namespace mpisim {
 
@@ -64,6 +65,11 @@ class Runtime {
     /// group; mismatches raise CollectiveMismatchError (sanitizer.hpp).
     /// Overridable via MPISIM_SANITIZE=1 / MPISIM_SANITIZE=0.
     bool sanitize_collectives = false;
+    /// Node structure of the machine (topology.hpp). Empty = flat. Must
+    /// cover exactly num_ranks ranks when non-empty; consulted by the
+    /// cost seams (two-level CostModel) and the inter-node traffic
+    /// counters, and queryable by algorithms via NodeOf/SameNode.
+    topo::Topology topology{};
   };
 
   explicit Runtime(Options options);
@@ -108,6 +114,13 @@ class Runtime {
   /// Blocked-rank registry feeding deadlock detection and forensics.
   WaitRegistry& Waits() { return waits_; }
 
+  /// Node of a world rank under the installed topology (0 when flat).
+  /// O(1): precomputed at construction.
+  int NodeOf(int world_rank) const { return node_of_[world_rank]; }
+  /// True when both world ranks live on the same node (always true on a
+  /// flat topology).
+  bool SameNode(int a, int b) const { return node_of_[a] == node_of_[b]; }
+
   /// Maximum virtual time over all ranks (call after Run).
   double MaxVirtualTime() const;
   /// Resets all rank clocks and traffic counters (between benchmark reps).
@@ -117,6 +130,7 @@ class Runtime {
 
  private:
   Options options_;
+  std::vector<int> node_of_;  // world rank -> node id (precomputed)
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<RankContext>> contexts_;
   std::atomic<bool> aborted_{false};

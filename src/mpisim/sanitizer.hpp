@@ -98,6 +98,15 @@ enum class CollKind : std::uint8_t {
   kAlltoall,
   kAlltoallv,
   kSparseAlltoallv,
+  // Node-aware hierarchical collectives (topo/hier_collectives.hpp). Each
+  // is a composite (leader election + intra-node + leader-only inter-node
+  // phases) recorded as ONE logical op; the elected leader list is stored
+  // in counts_to so a rank disagreeing about leaders produces a pairwise
+  // counts mismatch instead of a deadlock.
+  kHierBcast,
+  kHierAllreduce,
+  kHierGatherv,
+  kHierAlltoallv,
 };
 
 const char* KindName(CollKind k);

@@ -94,6 +94,20 @@ int Ibarrier(const Comm& comm, Request* request, int tag = RBC_IBARRIER_TAG);
 // need distinct payload tags, which also keeps their barrier and chunk
 // envelopes apart.
 //
+// The node-aware hierarchical collectives (topo/hier_collectives.hpp)
+// extend this map with one exclusive tag each in kReservedTagBase +
+// [32, 35]:
+//   * kTagHierBcast     = kReservedTagBase + 32
+//   * kTagHierAllreduce = kReservedTagBase + 33
+//   * kTagHierGatherv   = kReservedTagBase + 34
+//   * kTagHierAlltoallv = kReservedTagBase + 35
+// Each owns its leader-phase point-to-point traffic; the intra-node
+// phases run flat collectives on vnode sub-ranges under the tags above
+// (never concurrently on overlapping ranges). HierAlltoallv's three
+// sparse phases share kTagHierAlltoallv -- fenced by the sparse
+// exchange's second barrier -- and derive barrier/chunk tags from it
+// exactly as described for the sparse exchange.
+//
 // Sequence tracking (MPISIM_SANITIZE=1): every public entry above --
 // blocking or nonblocking -- records exactly one logical collective in
 // the sanitizer ledger of its (underlying MPI comm, range) pair, keyed by
@@ -110,7 +124,13 @@ int Ibarrier(const Comm& comm, Request* request, int tag = RBC_IBARRIER_TAG);
 //     tag discipline above already demands;
 //   * distinct ranges over one MPI communicator keep independent
 //     sequences: concurrent collectives on disjoint or overlapping
-//     ranges are legal (with the usual tag rules) and never compared.
+//     ranges are legal (with the usual tag rules) and never compared;
+//   * the hierarchical collectives record one logical op (kHierBcast /
+//     kHierAllreduce / kHierGatherv / kHierAlltoallv) in the *parent*
+//     range's ledger, carrying the elected leader list so ranks that
+//     derive divergent topologies raise a "different elected leader
+//     sets" mismatch at entry; their intra-phase sub-collectives and
+//     sparse fences are suppressed by the per-rank depth guard.
 inline constexpr int RBC_IALLREDUCE_TAG = kReservedTagBase + 22;
 inline constexpr int RBC_IALLGATHER_TAG = kReservedTagBase + 23;
 inline constexpr int RBC_IEXSCAN_TAG = kReservedTagBase + 24;  // +25 too

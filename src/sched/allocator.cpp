@@ -18,10 +18,17 @@ int CeilLog2(int v) {
 
 }  // namespace
 
-RangeAllocator::RangeAllocator(int size, Policy policy)
-    : size_(size), policy_(policy), free_ranks_(size) {
+RangeAllocator::RangeAllocator(int size, Policy policy,
+                               topo::Topology topology)
+    : size_(size),
+      policy_(policy),
+      topology_(std::move(topology)),
+      free_ranks_(size) {
   if (size < 1) {
     throw mpisim::UsageError("RangeAllocator: size must be positive");
+  }
+  if (const std::string err = topology_.Validate(size); !err.empty()) {
+    throw mpisim::UsageError("RangeAllocator: " + err);
   }
   if (policy_ == Policy::kBuddy) {
     if (!IsPow2(size)) {
@@ -46,6 +53,7 @@ std::optional<Block> RangeAllocator::Allocate(int width) {
 }
 
 std::optional<Block> RangeAllocator::AllocateFirstFit(int width) {
+  if (NodeAffine()) return AllocateNodeAffine(width);
   for (auto it = free_.begin(); it != free_.end(); ++it) {
     const auto [first, len] = *it;
     if (len < width) continue;
@@ -56,6 +64,54 @@ std::optional<Block> RangeAllocator::AllocateFirstFit(int width) {
     return Block{first, first + width - 1};
   }
   return std::nullopt;
+}
+
+std::optional<Block> RangeAllocator::AllocateNodeAffine(int width) {
+  // Candidate placements: each free run's own start, plus every node
+  // start inside the run (aligning a job to a node boundary may leave a
+  // hole at the run's front, but keeps the job's communicator on as few
+  // nodes as possible). Score = node boundaries straddled; minimum wins,
+  // ties to the lowest start -- with one node everything scores 0 and
+  // the lowest start is plain first fit.
+  int best_start = -1;
+  int best_cuts = 0;
+  auto consider = [&](int start, int run_last) {
+    const int last = start + width - 1;
+    if (last > run_last) return;
+    const int cuts = topology_.NodeOf(last) - topology_.NodeOf(start);
+    if (best_start < 0 || cuts < best_cuts) {
+      best_start = start;
+      best_cuts = cuts;
+    }
+  };
+  for (const auto& [first, len] : free_) {
+    const int run_last = first + len - 1;
+    consider(first, run_last);
+    const int first_node = topology_.NodeOf(first);
+    for (int node = first_node + 1;
+         node < topology_.NodeCount() &&
+         topology_.NodeFirst(node) <= run_last;
+         ++node) {
+      consider(topology_.NodeFirst(node), run_last);
+    }
+  }
+  if (best_start < 0) return std::nullopt;
+  // Carve [best_start, best_start + width) out of its enclosing run.
+  auto it = free_.upper_bound(best_start);
+  --it;
+  const auto [first, len] = *it;
+  free_.erase(it);
+  if (best_start > first) free_.emplace(first, best_start - first);
+  const int tail = first + len - (best_start + width);
+  if (tail > 0) free_.emplace(best_start + width, tail);
+  live_.emplace(best_start, width);
+  free_ranks_ -= width;
+  return Block{best_start, best_start + width - 1};
+}
+
+int RangeAllocator::CrossNodeCuts(Block b) const {
+  if (topology_.Empty() || b.Width() < 1) return 0;
+  return topology_.NodeOf(b.last) - topology_.NodeOf(b.first);
 }
 
 std::optional<Block> RangeAllocator::AllocateBuddy(int width) {

@@ -14,6 +14,17 @@
 //                  fragmentation in exchange for O(log size) worst-case
 //                  external fragmentation; requires a power-of-two size.
 //
+// Node-affine placement: constructed with a non-empty topo::Topology, the
+// first-fit policy scores every feasible placement (each free run's start
+// plus each node start inside it) by the number of node boundaries the
+// block would straddle (CrossNodeCuts) and takes the minimum -- ties to
+// the lowest start, so a flat or single-node topology reproduces plain
+// first fit exactly. A node-aligned range keeps the job's communicator
+// entirely on-node, so its collectives never pay the inter-node alpha of
+// a two-level cost model. Buddy placement is unchanged: its power-of-two
+// alignment already coincides with node boundaries whenever node sizes
+// are powers of two.
+//
 // Invariants (property-tested): live blocks never overlap, live + free
 // always partition [0, size), and releasing everything restores a single
 // free run of the full width.
@@ -23,6 +34,8 @@
 #include <optional>
 #include <set>
 #include <vector>
+
+#include "topo/topology.hpp"
 
 namespace jsort::sched {
 
@@ -40,7 +53,8 @@ class RangeAllocator {
  public:
   enum class Policy { kFirstFit, kBuddy };
 
-  explicit RangeAllocator(int size, Policy policy = Policy::kFirstFit);
+  explicit RangeAllocator(int size, Policy policy = Policy::kFirstFit,
+                          topo::Topology topology = {});
 
   /// Reserves a block of at least `width` ranks (exactly `width` under
   /// first fit; the enclosing power-of-two buddy block under buddy).
@@ -64,14 +78,22 @@ class RangeAllocator {
   /// Maximal free runs in ascending rank order.
   std::vector<Block> FreeRuns() const;
 
+  /// Number of node boundaries inside `b` under the installed topology
+  /// (0 = entirely on one node, or no topology installed). The placement
+  /// score the node-affine first fit minimizes.
+  int CrossNodeCuts(Block b) const;
+  bool NodeAffine() const { return topology_.NodeCount() > 1; }
+
  private:
   std::optional<Block> AllocateFirstFit(int width);
+  std::optional<Block> AllocateNodeAffine(int width);
   std::optional<Block> AllocateBuddy(int width);
   void ReleaseFirstFit(Block b);
   void ReleaseBuddy(Block b);
 
   int size_;
   Policy policy_;
+  topo::Topology topology_;
   int free_ranks_;
   std::map<int, int> live_;            // first -> width
   std::map<int, int> free_;            // first -> width (first fit)

@@ -20,7 +20,7 @@ Scheduler::Scheduler(int ranks, std::vector<JobSpec> jobs,
                      SchedulerConfig cfg)
     : ranks_(ranks),
       cfg_(cfg),
-      alloc_(ranks, cfg.allocation),
+      alloc_(ranks, cfg.allocation, cfg.topology),
       jobs_(std::move(jobs)),
       total_(static_cast<int>(jobs_.size())) {
   for (int i = 0; i < total_; ++i) {

@@ -50,6 +50,10 @@ struct SchedulerConfig {
   /// Queue length at which kAdaptiveWidth starts halving widths; each
   /// further doubling of the queue halves again.
   int adaptive_threshold = 4;
+  /// Non-empty: node-affine placement -- the first-fit allocator prefers
+  /// ranges straddling the fewest node boundaries (allocator.hpp). Must
+  /// cover exactly `ranks` when set.
+  topo::Topology topology{};
 };
 
 /// One admitted job: run it on world ranks [first, last] starting at

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <thread>
 
+#include "topo/hier_exchange.hpp"
+
 namespace jsort {
 namespace exchange {
 namespace {
@@ -13,6 +15,56 @@ void WaitPoll(const Poll& p) {
     if (mpisim::Ctx().runtime->Aborted()) throw mpisim::AbortedError();
     std::this_thread::yield();
   }
+}
+
+/// Vnode map of the transport's group under the runtime's installed
+/// topology: group ranks translate to world ranks, world ranks to nodes,
+/// and maximal same-node runs become vnodes (topo/hier_exchange.hpp).
+/// Purely local -- every member computes the identical map.
+topo::VnodeMap VnodesOfGroup(const Transport& tr) {
+  const mpisim::Runtime* rt = mpisim::Ctx().runtime;
+  std::vector<int> node_of(static_cast<std::size_t>(tr.Size()));
+  for (int r = 0; r < tr.Size(); ++r) {
+    node_of[static_cast<std::size_t>(r)] = rt->NodeOf(tr.WorldRankOf(r));
+  }
+  return topo::VnodesOf(node_of);
+}
+
+/// kAuto routes hierarchically exactly when the cost model distinguishes
+/// intra- from inter-node traffic AND the group actually spans more than
+/// one vnode -- both globally shared facts, so the decision is identical
+/// on every rank. On a flat cost model the node-aware detour could only
+/// add phases, so the flat resolution below stays bit-for-bit unchanged.
+bool AutoHier(const Transport& tr) {
+  if (!mpisim::Ctx().runtime->options().cost.Hierarchical()) return false;
+  return VnodesOfGroup(tr).Count() > 1;
+}
+
+/// Runs the three-phase node-aware exchange over the transport's sparse
+/// collective: one blocking sparse call per phase, all on the caller's
+/// tag (the sparse termination barriers fence the back-to-back phases).
+std::vector<std::byte> RunHier(Transport& tr,
+                               std::span<const topo::BytePiece> pieces,
+                               int tag, std::int64_t segment_bytes,
+                               topo::HierLevelStats* hs) {
+  const topo::VnodeMap vn = VnodesOfGroup(tr);
+  auto sparse = [&](std::span<const SparseBlock> sends) {
+    std::vector<SparseDelivery> deliveries;
+    WaitPoll(tr.IsparseAlltoallv(sends, Datatype::kByte, &deliveries, tag,
+                                 segment_bytes));
+    return deliveries;
+  };
+  return topo::HierExchangeBytes(vn, tr.Rank(), pieces, sparse, hs);
+}
+
+/// Folds one hierarchical run's per-level traffic into the caller stats.
+void AddHierStats(ExchangeStats* stats, const topo::HierLevelStats& hs) {
+  if (stats == nullptr) return;
+  stats->segments += hs.intra_messages + hs.inter_messages;
+  stats->intra_messages += hs.intra_messages;
+  stats->intra_bytes += hs.intra_bytes;
+  stats->inter_messages += hs.inter_messages;
+  stats->inter_bytes += hs.inter_bytes;
 }
 
 /// Globally consistent kAuto resolution for the segment exchange. The
@@ -259,7 +311,7 @@ SendPlan PlanFromInterval(const CapacityLayout& layout,
 
 std::vector<double> ExchangeBuckets(
     Transport& tr, const std::vector<std::vector<double>>& buckets, int tag,
-    ExchangeStats* stats, std::int64_t segment_bytes) {
+    ExchangeStats* stats, std::int64_t segment_bytes, Mode mode) {
   const int p = tr.Size();
   if (static_cast<int>(buckets.size()) != p) {
     throw mpisim::UsageError(
@@ -278,20 +330,57 @@ std::vector<double> ExchangeBuckets(
               buckets[static_cast<std::size_t>(i)].end(),
               flat.begin() + offsets[static_cast<std::size_t>(i)]);
   }
-  return ExchangeBuckets(tr, flat, offsets, tag, stats, segment_bytes);
+  return ExchangeBuckets(tr, flat, offsets, tag, stats, segment_bytes, mode);
 }
 
 std::vector<double> ExchangeBuckets(Transport& tr,
                                     std::span<const double> elements,
                                     std::span<const std::int64_t> offsets,
                                     int tag, ExchangeStats* stats,
-                                    std::int64_t segment_bytes) {
+                                    std::int64_t segment_bytes, Mode mode) {
   const int p = tr.Size();
   const int me = tr.Rank();
   if (static_cast<int>(offsets.size()) != p + 1) {
     throw mpisim::UsageError(
         "jsort::exchange::ExchangeBuckets: offsets must have Size()+1 "
         "entries");
+  }
+
+  if (mode == Mode::kHierarchical ||
+      (mode == Mode::kAuto && AutoHier(tr))) {
+    // Node-aware delivery: the bucket blocks are already contiguous and
+    // per-destination, so they feed the engine without any copy -- the
+    // self bucket included (the engine keeps it local and splices it into
+    // the source-ordered result, exactly where the dense path's local
+    // copy lands). No counts round: the engine's messages are
+    // self-describing.
+    std::vector<topo::BytePiece> pieces;
+    std::int64_t nonempty = 0, total_out = 0;
+    for (int i = 0; i < p; ++i) {
+      const std::int64_t n = offsets[static_cast<std::size_t>(i) + 1] -
+                             offsets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      pieces.push_back(topo::BytePiece{
+          i,
+          reinterpret_cast<const std::byte*>(
+              elements.data() + offsets[static_cast<std::size_t>(i)]),
+          n * static_cast<std::int64_t>(sizeof(double))});
+      if (i != me) {
+        ++nonempty;
+        total_out += n;
+      }
+    }
+    topo::HierLevelStats hs;
+    const std::vector<std::byte> bytes =
+        RunHier(tr, pieces, tag, segment_bytes, &hs);
+    if (stats != nullptr) {
+      stats->messages_sent += nonempty;
+      stats->elements_sent += total_out;
+    }
+    AddHierStats(stats, hs);
+    std::vector<double> out(bytes.size() / sizeof(double));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
   }
   // Bucket-major input needs no send-side copy: the per-peer blocks are
   // already contiguous, and the self bucket rides along as a zero-count
@@ -368,8 +457,12 @@ std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
   // exists to avoid -- it degrades to the sparse collective.
   Mode resolved = mode;
   if (resolved == Mode::kAuto) {
-    const auto max_targets = static_cast<std::int64_t>(out.size());
-    resolved = 2 * max_targets >= p - 1 ? Mode::kAlltoallv : Mode::kSparse;
+    if (AutoHier(*tr)) {
+      resolved = Mode::kHierarchical;
+    } else {
+      const auto max_targets = static_cast<std::int64_t>(out.size());
+      resolved = 2 * max_targets >= p - 1 ? Mode::kAlltoallv : Mode::kSparse;
+    }
   }
   if (resolved == Mode::kCoalesced) resolved = Mode::kSparse;
 
@@ -394,11 +487,14 @@ std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
     elements += to[static_cast<std::size_t>(d)];
   }
   if (stats != nullptr) {
-    stats->messages_sent += resolved == Mode::kSparse
-                                ? nonempty
-                                : static_cast<std::int64_t>(p - 1);
+    stats->messages_sent += resolved == Mode::kAlltoallv
+                                ? static_cast<std::int64_t>(p - 1)
+                                : nonempty;
     stats->elements_sent += elements;
-    for (int d = 0; d < p; ++d) {
+    // The hierarchical path reports its wire traffic per phase after the
+    // run (AddHierStats); the flat paths mirror the backend segmentation
+    // arithmetic here.
+    for (int d = 0; d < p && resolved != Mode::kHierarchical; ++d) {
       if (d == me) continue;
       const std::int64_t to_d = to[static_cast<std::size_t>(d)];
       if (resolved == Mode::kSparse) {
@@ -412,6 +508,45 @@ std::vector<double> ExchangeGroupwise(const std::shared_ptr<Transport>& tr,
             to_d, sizeof(double), segment_bytes);
       }
     }
+  }
+
+  if (resolved == Mode::kHierarchical) {
+    // Per-destination byte pieces (entries to one destination coalesce in
+    // entry order, exactly as the sparse path ships them), run through the
+    // node-aware engine. The self piece rides along: the engine keeps it
+    // local and splices it into the source-ordered result, so the output
+    // is byte-identical to the flat paths. Blocking; collective over the
+    // group like every path of this entry point.
+    std::vector<int> entries(static_cast<std::size_t>(p), 0);
+    std::vector<const double*> only(static_cast<std::size_t>(p), nullptr);
+    for (const Outgoing& o : out) {
+      if (o.count == 0) continue;
+      ++entries[static_cast<std::size_t>(o.dest)];
+      only[static_cast<std::size_t>(o.dest)] = o.data;
+    }
+    std::vector<std::vector<double>> msgs(static_cast<std::size_t>(p));
+    for (const Outgoing& o : out) {
+      if (o.count == 0) continue;
+      const auto di = static_cast<std::size_t>(o.dest);
+      if (entries[di] > 1) msgs[di].insert(msgs[di].end(), o.data,
+                                           o.data + o.count);
+    }
+    std::vector<topo::BytePiece> pieces;
+    for (int d = 0; d < p; ++d) {
+      const auto di = static_cast<std::size_t>(d);
+      if (to[di] == 0) continue;
+      const double* src = entries[di] == 1 ? only[di] : msgs[di].data();
+      pieces.push_back(topo::BytePiece{
+          d, reinterpret_cast<const std::byte*>(src),
+          to[di] * static_cast<std::int64_t>(sizeof(double))});
+    }
+    topo::HierLevelStats hs;
+    const std::vector<std::byte> bytes =
+        RunHier(*tr, pieces, tag, segment_bytes, &hs);
+    AddHierStats(stats, hs);
+    std::vector<double> result(bytes.size() / sizeof(double));
+    std::memcpy(result.data(), bytes.data(), bytes.size());
+    return result;
   }
 
   if (resolved == Mode::kSparse) {
@@ -522,9 +657,13 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
     }
   }
 
-  const Mode resolved = Resolve(mode, st->p, st->k, layout, segment_bytes);
+  const Mode resolved = mode == Mode::kAuto && AutoHier(*tr)
+                            ? Mode::kHierarchical
+                            : Resolve(mode, st->p, st->k, layout,
+                                      segment_bytes);
   st->coalesced = resolved == Mode::kCoalesced;
   st->sparse = resolved == Mode::kSparse;
+  const bool hier = resolved == Mode::kHierarchical;
 
   // Per-destination totals (and traffic accounting) are mode-independent.
   std::int64_t nonempty = 0, elements = 0;
@@ -545,7 +684,7 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
     }
   }
   if (stats != nullptr) {
-    stats->messages_sent += st->coalesced || st->sparse
+    stats->messages_sent += st->coalesced || st->sparse || hier
                                 ? nonempty
                                 : static_cast<std::int64_t>(st->p - 1);
     stats->elements_sent += elements;
@@ -553,9 +692,10 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
     // arithmetic: the dense path pipelines every per-peer block
     // (zero-count blocks still cost one empty message), the sparse path
     // chunks each self-describing message ([k int64s][payload]), the
-    // coalesced path ships unsegmented.
+    // coalesced path ships unsegmented. The hierarchical path reports its
+    // wire traffic per phase after the run (AddHierStats) instead.
     const std::size_t header = st->k * sizeof(std::int64_t);
-    for (int d = 0; d < st->p; ++d) {
+    for (int d = 0; d < st->p && !hier; ++d) {
       if (d == st->me) continue;
       const std::int64_t to_d = st->sendcounts[static_cast<std::size_t>(d)];
       if (st->sparse) {
@@ -574,7 +714,7 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
     }
   }
 
-  if (st->coalesced || st->sparse) {
+  if (st->coalesced || st->sparse || hier) {
     // One self-describing message per non-empty destination:
     // [int64 seg_counts[k]][segment payloads in order]. Built in a single
     // chunk walk per segment with per-destination write cursors (segments
@@ -612,6 +752,66 @@ Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
         }
         read += c.count;
       }
+    }
+    if (hier) {
+      // Node-aware delivery of the same self-describing messages: the
+      // engine merges them per node and per destination on the wire, and
+      // hands back the concatenation of the messages addressed to this
+      // rank in source-rank order. Each message's extent is recomputed
+      // from its own counts header ([k int64s] + payload), so the merged
+      // blob splits without any extra framing. Blocking at start: the
+      // three sparse phases complete before this returns with an
+      // already-done Poll (the engine is a collective, so every group
+      // member reaches this same call; a janus rank simply finishes one
+      // group's exchange before starting the other's -- the waits-for
+      // chain over adjacent groups is acyclic and cannot deadlock).
+      std::vector<topo::BytePiece> pieces;
+      for (int d = 0; d < st->p; ++d) {
+        const auto& msg = msgs[static_cast<std::size_t>(d)];
+        if (msg.empty()) continue;
+        pieces.push_back(topo::BytePiece{
+            d, msg.data(), static_cast<std::int64_t>(msg.size())});
+      }
+      topo::HierLevelStats hs;
+      const std::vector<std::byte> bytes =
+          RunHier(*st->tr, pieces, tag, segment_bytes, &hs);
+      AddHierStats(stats, hs);
+      std::size_t off2 = 0;
+      while (off2 < bytes.size()) {
+        if (bytes.size() - off2 < header) {
+          throw mpisim::Error(
+              "jsort::exchange: malformed hierarchical exchange blob");
+        }
+        std::int64_t in_msg = 0;
+        for (std::size_t j = 0; j < st->k; ++j) {
+          std::int64_t n = 0;
+          std::memcpy(&n, bytes.data() + off2 + j * sizeof(std::int64_t),
+                      sizeof n);
+          if (n < 0 || static_cast<std::uint64_t>(n) >
+                           (bytes.size() - off2 - header) / sizeof(double)) {
+            throw mpisim::Error(
+                "jsort::exchange: malformed hierarchical exchange blob");
+          }
+          in_msg += n;
+        }
+        const std::size_t len =
+            header + static_cast<std::size_t>(in_msg) * sizeof(double);
+        if (len > bytes.size() - off2) {
+          throw mpisim::Error(
+              "jsort::exchange: malformed hierarchical exchange blob");
+        }
+        st->UnpackMessage(bytes.data() + off2, len);
+        off2 += len;
+      }
+      for (std::size_t j = 0; j < st->k; ++j) {
+        if (st->remaining[j] != 0) {
+          throw mpisim::Error(
+              "jsort::exchange: hierarchical exchange delivered a "
+              "different element count than the layout overlap");
+        }
+      }
+      st->done = true;
+      return [] { return true; };
     }
     if (st->sparse) {
       std::vector<SparseBlock> blocks;

@@ -77,7 +77,17 @@ struct ExchangeStats {
   /// segment limit applies). Matches the backend arithmetic
   /// (mpisim::AlltoallvSegmentsOf / SparseChunksOf) exactly, so tests can
   /// reconcile this against the substrate's measured message counters.
+  /// The hierarchical path reports its phase messages here (chunking
+  /// excluded; see the per-level counters below).
   std::int64_t segments = 0;
+  /// Per-level traffic of the hierarchical path (Mode::kHierarchical /
+  /// kAuto on a two-level cost model): payload messages and bytes of the
+  /// intra-node phases (coalescing + local scatter) and of the
+  /// leader-to-leader inter-node phase. Zero on every flat path.
+  std::int64_t intra_messages = 0;
+  std::int64_t intra_bytes = 0;
+  std::int64_t inter_messages = 0;
+  std::int64_t inter_bytes = 0;
 };
 
 /// Delivery path selection.
@@ -87,7 +97,18 @@ enum class Mode {
                // expectation-terminated probe drain
   kSparse,     // skewed: one message per destination over the transport's
                // sparse collective (barrier-terminated, no expectations)
-  kAuto,       // dense / coalesced / sparse by the estimated non-empty-
+  kHierarchical,  // node-aware: per-destination traffic coalesces on each
+                  // node, crosses the network once leader-to-leader, and
+                  // is scattered locally (topo/hier_exchange.hpp); byte-
+                  // identical results to the flat paths. Collective and
+                  // blocking at start. Degrades gracefully on a flat or
+                  // single-node topology (the phases collapse to the
+                  // intra case).
+  kAuto,       // On a two-level cost model (CostModel::Hierarchical())
+               // with more than one node in the group: kHierarchical --
+               // matching the exchange structure to the machine beats
+               // every flat path on inter-node traffic. Otherwise:
+               // dense / coalesced / sparse by the estimated non-empty-
                // destination fraction (see the header comment); with a
                // segment limit, flips coalesced -> sparse exactly when a
                // single per-destination message could exceed
@@ -113,13 +134,19 @@ SendPlan PlanFromInterval(const CapacityLayout& layout,
 
 /// Blocking bucket redistribution (single-level sample sort): bucket[i]
 /// goes to rank i, every rank returns the concatenation of what it
-/// received, ordered by source rank. Dense path. `stats`, if non-null, is
-/// incremented by this call's payload traffic (p-1 messages).
+/// received, ordered by source rank. `stats`, if non-null, is incremented
+/// by this call's payload traffic (p-1 messages on the dense path).
 /// `segment_bytes` > 0 pipelines each per-peer payload block in segments
-/// of at most that many bytes (the large-message regime).
+/// of at most that many bytes (the large-message regime). Every bucket is
+/// non-empty-or-not per rank, so only two deliveries make sense here:
+/// kHierarchical runs the node-aware engine (skipping the dense counts
+/// round entirely -- its messages are self-describing), kAuto picks it
+/// exactly when the cost model is two-level and the group spans nodes,
+/// and every other mode delivers densely.
 std::vector<double> ExchangeBuckets(
     Transport& tr, const std::vector<std::vector<double>>& buckets, int tag,
-    ExchangeStats* stats = nullptr, std::int64_t segment_bytes = 0);
+    ExchangeStats* stats = nullptr, std::int64_t segment_bytes = 0,
+    Mode mode = Mode::kAuto);
 
 /// Flat-bucket variant: bucket i occupies elements [offsets[i],
 /// offsets[i+1]) of `elements` (offsets has Size()+1 entries) -- the
@@ -128,7 +155,8 @@ std::vector<double> ExchangeBuckets(Transport& tr,
                                     std::span<const double> elements,
                                     std::span<const std::int64_t> offsets,
                                     int tag, ExchangeStats* stats = nullptr,
-                                    std::int64_t segment_bytes = 0);
+                                    std::int64_t segment_bytes = 0,
+                                    Mode mode = Mode::kAuto);
 
 /// One outgoing payload of a group-wise (AMS-style) exchange: `count`
 /// elements to group rank `dest`. Entries may be empty; they are not
@@ -191,6 +219,13 @@ struct Segment {
 /// capacity plus the k-counts header, a globally shared quantity) would
 /// exceed segment_bytes. A forced kCoalesced stays unsegmented: its
 /// expectation-terminated eager sends have no chunk protocol.
+///
+/// The hierarchical path (kHierarchical, or kAuto on a two-level cost
+/// model when the group spans nodes) completes the whole exchange before
+/// returning (an already-done Poll): its three node-aware phases are
+/// collective sparse calls. Safe -- every group member reaches this call
+/// -- but a janus rank serializes its two groups' exchanges instead of
+/// interleaving them.
 Poll StartSegmentExchange(const std::shared_ptr<Transport>& tr,
                           const CapacityLayout& layout,
                           std::vector<Segment> segments, int tag,

@@ -6,6 +6,7 @@
 
 #include "sort/partition.hpp"
 #include "sort/sampling.hpp"
+#include "topo/hier_exchange.hpp"
 
 namespace jsort {
 namespace {
@@ -47,8 +48,25 @@ std::vector<double> MultilevelSampleSort(
   if (world == nullptr) {
     throw mpisim::UsageError("MultilevelSampleSort: null transport");
   }
-  if (cfg.k < 2) {
-    throw mpisim::UsageError("MultilevelSampleSort: k must be >= 2");
+  if (cfg.k != 0 && cfg.k < 2) {
+    throw mpisim::UsageError("MultilevelSampleSort: k must be >= 2 (or 0)");
+  }
+  int k_cfg = cfg.k;
+  if (k_cfg == 0) {
+    // Topology-derived default: one group per node aligns the first
+    // level's groups with node boundaries, so later levels stay
+    // node-local. Off a two-level cost model (or on a single node) the
+    // node count carries no information -- fall back to the classic 4.
+    const mpisim::Runtime* rt = mpisim::Ctx().runtime;
+    std::vector<int> node_of(static_cast<std::size_t>(world->Size()));
+    for (int r = 0; r < world->Size(); ++r) {
+      node_of[static_cast<std::size_t>(r)] =
+          rt->NodeOf(world->WorldRankOf(r));
+    }
+    const int nodes = topo::VnodesOf(node_of).Count();
+    k_cfg = rt->options().cost.Hierarchical() && nodes > 1
+                ? std::max(2, nodes)
+                : 4;
   }
   if (stats != nullptr) *stats = MultilevelStats{};
   std::mt19937_64 rng(cfg.seed ^
@@ -61,7 +79,7 @@ std::vector<double> MultilevelSampleSort(
   while (tr->Size() > 1) {
     const int p = tr->Size();
     const int rank = tr->Rank();
-    const int k = std::min(cfg.k, p);
+    const int k = std::min(k_cfg, p);
     const GroupLayout groups{p, k};
 
     // 1) Splitter selection: sample, gather, pick k-1 equidistant, bcast.

@@ -27,7 +27,11 @@
 namespace jsort {
 
 struct MultilevelConfig {
-  /// Branching factor: pieces / process groups per level.
+  /// Branching factor: pieces / process groups per level. 0 = topology-
+  /// derived: one group per node when the installed cost model is
+  /// two-level and the world group spans more than one node (the first
+  /// level's groups then align with node boundaries, so the recursion
+  /// goes node-local after one exchange), else 4.
   int k = 4;
   /// Samples contributed per rank per splitter selection.
   int oversample = 8;

@@ -77,7 +77,7 @@ std::vector<double> SampleSort(const std::shared_ptr<Transport>& world,
   exchange::ExchangeStats es;
   std::vector<double> out = exchange::ExchangeBuckets(
       tr, buckets.elements, buckets.offsets, kTagBucket, &es,
-      cfg.segment_bytes);
+      cfg.segment_bytes, cfg.exchange_mode);
   buckets.elements.clear();
   if (stats != nullptr) {
     stats->messages_sent += es.messages_sent;

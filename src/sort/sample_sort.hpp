@@ -24,6 +24,11 @@ struct SampleSortConfig {
   /// segments of at most this many bytes. Defaults to the measured
   /// crossover (see exchange::kDefaultSegmentBytes).
   std::int64_t segment_bytes = exchange::kDefaultSegmentBytes;
+  /// Delivery path of the bucket exchange. kAuto keeps the dense
+  /// Alltoallv on a flat cost model and switches to the node-aware
+  /// hierarchical engine exactly when the cost model is two-level and the
+  /// group spans nodes (see exchange.hpp).
+  exchange::Mode exchange_mode = exchange::Mode::kAuto;
   std::uint64_t seed = 1;
 };
 

@@ -41,6 +41,10 @@ class RbcTransport final : public Transport {
   int Rank() const override { return comm_.Rank(); }
   int Size() const override { return comm_.Size(); }
 
+  int WorldRankOf(int r) const override {
+    return comm_.Mpi().WorldRank(comm_.ToMpi(r));
+  }
+
   Poll Ibcast(void* buf, int count, Datatype dt, int root,
               int tag) override {
     rbc::Request req;
@@ -134,6 +138,8 @@ class MpiTransportBase : public Transport {
 
   int Rank() const override { return comm_.Rank(); }
   int Size() const override { return comm_.Size(); }
+
+  int WorldRankOf(int r) const override { return comm_.WorldRank(r); }
 
   // The MPI transports have private contexts per group, so the tag
   // parameter is unnecessary for collectives (the NBC tag counter of the

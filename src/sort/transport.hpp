@@ -53,6 +53,10 @@ class Transport {
   virtual int Rank() const = 0;
   virtual int Size() const = 0;
 
+  /// World rank of group rank `r` -- the key for topology queries
+  /// (mpisim::Runtime::NodeOf works on world ranks). Purely local.
+  virtual int WorldRankOf(int r) const = 0;
+
   // Nonblocking collectives. `tag` disambiguates simultaneous operations
   // for transports without private contexts (RBC); context-isolated
   // transports may ignore it.

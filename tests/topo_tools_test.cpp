@@ -1,0 +1,83 @@
+// tools/bench_report.py must degrade gracefully: zero snapshots (a fresh
+// clone, a bench directory that has not produced JSON yet) is a normal
+// state that renders an empty trajectory table and exits 0, so CI and
+// local scripts can call it unconditionally; only a *named* path that
+// does not exist is a usage error (exit 2).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int RunReport(const std::string& args) {
+  const std::string cmd = std::string("python3 \"") + REPO_SOURCE_DIR +
+                          "/tools/bench_report.py\" " + args +
+                          " > /dev/null 2>&1";
+  const int raw = std::system(cmd.c_str());
+  return WEXITSTATUS(raw);
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("topo_tools_test_" + std::to_string(::getpid()));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(BenchReport, EmptyDirectoryExitsZero) {
+  TempDir dir;
+  EXPECT_EQ(RunReport("\"" + dir.path().string() + "\""), 0);
+}
+
+TEST(BenchReport, SingleSnapshotExitsZeroAndWritesReport) {
+  TempDir dir;
+  {
+    std::ofstream doc(dir.path() / "BENCH_one.json");
+    doc << R"({"meta": {"binary": "bench_one", "git_describe": "v1"},)"
+        << R"( "rows": [{"bench": "b", "backend": "x", "p": 4,)"
+        << R"( "count": 100, "vtime": 12.5}]})";
+  }
+  const fs::path out = dir.path() / "report.md";
+  EXPECT_EQ(RunReport("--out \"" + out.string() + "\" \"" +
+                      dir.path().string() + "\""),
+            0);
+  ASSERT_TRUE(fs::exists(out));
+  std::ifstream in(out);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("bench_one"), std::string::npos);
+  EXPECT_NE(text.find("Only one snapshot group"), std::string::npos);
+}
+
+TEST(BenchReport, MalformedSnapshotIsSkippedNotFatal) {
+  TempDir dir;
+  { std::ofstream(dir.path() / "BENCH_bad.json") << "{not json"; }
+  EXPECT_EQ(RunReport("\"" + dir.path().string() + "\""), 0);
+}
+
+TEST(BenchReport, MissingPathIsUsageError) {
+  TempDir dir;
+  EXPECT_EQ(
+      RunReport("\"" + (dir.path() / "does_not_exist").string() + "\""), 2);
+}
+
+}  // namespace

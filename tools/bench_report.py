@@ -121,10 +121,13 @@ def render(labels, table, metric):
             f"Last vs first snapshot (rows present in both): "
             f"{improved} improved, {regressed} regressed "
             f"(threshold 2%, lower {metric} is better).")
-    else:
+    elif len(labels) == 1:
         lines.append("Only one snapshot group found; add a second "
                      "(different `git describe` or smoke/full mode) to "
                      "get deltas.")
+    else:
+        lines.append("No snapshots found; commit or point this script at "
+                     "BENCH_*.json documents to populate the table.")
     lines.append("")
     return "\n".join(lines)
 
@@ -141,15 +144,16 @@ def main():
 
     files = collect_files(args.paths)
     if files is None:
-        return 2
+        return 2  # a named path does not exist -- a real usage error
+    # Zero or one snapshot is a normal state (fresh clone, first bench
+    # run): emit the report with whatever is there rather than failing,
+    # so CI steps and local runs can call this unconditionally.
     if not files:
         print("bench_report: no BENCH_*.json inputs found", file=sys.stderr)
-        return 2
     labels, table = load_snapshots(files, args.metric)
-    if not table:
+    if files and not table:
         print("bench_report: no rows with the requested metric",
               file=sys.stderr)
-        return 2
     text = render(labels, table, args.metric)
     if args.out is None:
         sys.stdout.write(text)

@@ -258,6 +258,22 @@ def validate_entry(entry, args, fail):
         fail.add(name, f"meta.seed is {meta.get('seed')!r}")
     if isinstance(meta.get("git_describe"), str) and not meta["git_describe"]:
         fail.add(name, "meta.git_describe is empty")
+    # Optional: the --cost-model overrides the run was measured under
+    # (runs on the default flat model omit it).
+    if "cost_model" in meta:
+        cm = meta["cost_model"]
+        if not isinstance(cm, dict) or not cm:
+            fail.add(name, "meta.cost_model must be a non-empty object")
+        else:
+            known = {"alpha", "beta", "intra_alpha", "intra_beta",
+                     "inter_alpha", "inter_beta"}
+            for key, value in cm.items():
+                if key not in known:
+                    fail.add(name, f"meta.cost_model has unknown key "
+                                   f"'{key}'")
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    fail.add(name, f"meta.cost_model.{key} is not a number")
 
     rows = doc["rows"]
     if not isinstance(rows, list):
